@@ -1,0 +1,179 @@
+// sptrsv solves a sparse lower-triangular system from a Matrix Market
+// file end-to-end: read, (optionally) extract the lower triangle,
+// preprocess with a chosen algorithm, solve, verify the residual and
+// report timings.
+//
+// Usage:
+//
+//	sptrsv -matrix L.mtx                         # solve L·x = 1⃗
+//	sptrsv -matrix A.mtx -lower -algo sync-free  # tril(A)+unit diag
+//	sptrsv -matrix L.mtx -rhs b.txt -out x.txt   # explicit rhs, save x
+//	sptrsv -matrix L.mtx -iters 100              # amortisation report
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	sptrsv "github.com/sss-lab/blocksptrsv"
+)
+
+func main() {
+	var (
+		matrixPath = flag.String("matrix", "", "Matrix Market file with the system matrix (required)")
+		lower      = flag.Bool("lower", false, "extract the lower triangle and insert unit diagonals (the paper's recipe for general matrices)")
+		algo       = flag.String("algo", "block-recursive", "algorithm: "+strings.Join(sptrsv.Algorithms(), ", "))
+		rhsPath    = flag.String("rhs", "", "right-hand side file (one value per line); default all ones")
+		outPath    = flag.String("out", "", "write the solution here (one value per line)")
+		workers    = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		iters      = flag.Int("iters", 1, "number of solves (amortisation report)")
+		saveA      = flag.String("save-analysis", "", "save the block solver's preprocessing to this file (block-recursive only)")
+		loadA      = flag.String("load-analysis", "", "reuse preprocessing from this file instead of analysing")
+		thresholds = flag.String("thresholds", "", "JSON file with fitted kernel-selection thresholds (see sptrsvtune); block algorithms only")
+	)
+	flag.Parse()
+	if *matrixPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	m, err := sptrsv.ReadMatrixMarketFile[float64](*matrixPath)
+	fatalIf(err)
+	fmt.Printf("matrix: %d x %d, %d nonzeros\n", m.Rows, m.Cols, m.NNZ())
+	l := m
+	if *lower {
+		l, err = sptrsv.LowerTriangle(m, true)
+		fatalIf(err)
+		fmt.Printf("lower triangle: %d nonzeros (unit diagonals inserted where missing)\n", l.NNZ())
+	}
+
+	b := make([]float64, l.Rows)
+	if *rhsPath != "" {
+		fatalIf(readVector(*rhsPath, b))
+	} else {
+		for i := range b {
+			b[i] = 1
+		}
+	}
+
+	t0 := time.Now()
+	var s sptrsv.BaselineSolver[float64]
+	switch {
+	case *loadA != "":
+		f, err := os.Open(*loadA)
+		fatalIf(err)
+		blockSolver, err := sptrsv.LoadSolver[float64](f, *workers)
+		f.Close()
+		fatalIf(err)
+		if blockSolver.Rows() != l.Rows {
+			fatalIf(fmt.Errorf("analysis file is for a %d-row system, matrix has %d rows", blockSolver.Rows(), l.Rows))
+		}
+		s = blockSolver
+		fmt.Printf("analysis loaded from %s: %v\n", *loadA, time.Since(t0).Round(time.Microsecond))
+	case *thresholds != "":
+		if *algo != "block-recursive" {
+			fatalIf(fmt.Errorf("-thresholds applies to block-recursive, got %s", *algo))
+		}
+		data, err := os.ReadFile(*thresholds)
+		fatalIf(err)
+		opts := sptrsv.DefaultOptions(*workers)
+		fatalIf(json.Unmarshal(data, &opts.Thresholds))
+		blockSolver, err := sptrsv.Analyze(l, opts)
+		fatalIf(err)
+		s = blockSolver
+		fmt.Printf("preprocessing (block-recursive, fitted thresholds): %v\n", time.Since(t0).Round(time.Microsecond))
+	default:
+		var err error
+		s, err = sptrsv.NewSolver(*algo, l, *workers)
+		fatalIf(err)
+		fmt.Printf("preprocessing (%s): %v\n", *algo, time.Since(t0).Round(time.Microsecond))
+		if *saveA != "" {
+			blockSolver, ok := s.(*sptrsv.Solver[float64])
+			if !ok {
+				fatalIf(fmt.Errorf("-save-analysis requires a block algorithm, got %s", *algo))
+			}
+			f, err := os.Create(*saveA)
+			fatalIf(err)
+			n, err := blockSolver.WriteTo(f)
+			fatalIf(err)
+			fatalIf(f.Close())
+			fmt.Printf("analysis saved to %s (%d bytes)\n", *saveA, n)
+		}
+	}
+
+	x := make([]float64, l.Rows)
+	t0 = time.Now()
+	for i := 0; i < *iters; i++ {
+		s.Solve(b, x)
+	}
+	total := time.Since(t0)
+	per := total / time.Duration(*iters)
+	fmt.Printf("solve: %v per solve (%d solves, %v total)\n", per.Round(time.Microsecond), *iters, total.Round(time.Microsecond))
+	fmt.Printf("throughput: %.3f GFlops\n", 2*float64(l.NNZ())/per.Seconds()/1e9)
+	fmt.Printf("residual: %.3e\n", sptrsv.Residual(l, x, b))
+
+	if *outPath != "" {
+		fatalIf(writeVector(*outPath, x))
+		fmt.Printf("solution written to %s\n", *outPath)
+	}
+}
+
+func readVector(path string, out []float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	i := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i >= len(out) {
+			return fmt.Errorf("rhs file has more than %d values", len(out))
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return fmt.Errorf("rhs line %d: %w", i+1, err)
+		}
+		out[i] = v
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if i != len(out) {
+		return fmt.Errorf("rhs file has %d values, want %d", i, len(out))
+	}
+	return nil
+}
+
+func writeVector(path string, v []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	for _, x := range v {
+		if _, err := fmt.Fprintf(bw, "%.17g\n", x); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sptrsv:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.txt")
+	v := []float64{1.5, -2, 0, 3.25e-8}
+	if err := writeVector(path, v); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(v))
+	if err := readVector(path, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("v[%d]=%g want %g", i, got[i], v[i])
+		}
+	}
+}
+
+func TestReadVectorErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.txt")
+
+	// Too few values.
+	if err := os.WriteFile(path, []byte("1\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := readVector(path, make([]float64, 3)); err == nil {
+		t.Fatal("short file accepted")
+	}
+	// Too many values.
+	if err := readVector(path, make([]float64, 1)); err == nil {
+		t.Fatal("long file accepted")
+	}
+	// Garbage value.
+	if err := os.WriteFile(path, []byte("1\nzap\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := readVector(path, make([]float64, 2)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Missing file.
+	if err := readVector(filepath.Join(dir, "none"), make([]float64, 1)); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Comments and blank lines are skipped.
+	if err := os.WriteFile(path, []byte("% c\n# c\n\n1\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 2)
+	if err := readVector(path, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("out=%v", out)
+	}
+}

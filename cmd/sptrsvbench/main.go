@@ -1,0 +1,76 @@
+// sptrsvbench regenerates the tables and figures of the paper's
+// evaluation section on this machine.
+//
+// Usage:
+//
+//	sptrsvbench -experiment all
+//	sptrsvbench -experiment fig6,table5 -scale 0.5 -repeats 10
+//
+// Experiments: table1 table2 table3 fig4 fig5 fig6 fig7 table4 table5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sss-lab/blocksptrsv/internal/bench"
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		scale      = flag.Float64("scale", 0.25, "corpus size multiplier (1.0 ≈ laptop-scale, paper ≈ 10-50)")
+		repeats    = flag.Int("repeats", 5, "timed solves per measurement (paper uses 200)")
+		warmup     = flag.Int("warmup", 1, "warmup solves before timing")
+		fit        = flag.Bool("fit", true, "fit kernel-selection thresholds on this machine first")
+		calibrate  = flag.Bool("calibrate", true, "per-block empirical kernel selection for the block solver")
+		csvDir     = flag.String("csvdir", "", "directory for machine-readable figure data (.csv); empty disables")
+		workersS   = flag.Int("workers-small", 0, "worker count of the small device (0 = 2/3 of GOMAXPROCS)")
+		workersL   = flag.Int("workers-large", 0, "worker count of the large device (0 = GOMAXPROCS)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentNames() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	devs := exec.DefaultDevices()
+	if *workersS > 0 {
+		devs[0].Workers = *workersS
+	}
+	if *workersL > 0 {
+		devs[1].Workers = *workersL
+	}
+	p := bench.Params{
+		Scale:         *scale,
+		Repeats:       *repeats,
+		Warmup:        *warmup,
+		Devices:       []exec.Device{devs[0], devs[1]},
+		FitThresholds: *fit,
+		Calibrate:     *calibrate,
+		CSVDir:        *csvDir,
+	}
+
+	ids := bench.ExperimentNames()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fmt.Printf("================ %s ================\n", id)
+		t0 := time.Now()
+		if err := bench.Run(id, os.Stdout, p); err != nil {
+			fmt.Fprintf(os.Stderr, "sptrsvbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

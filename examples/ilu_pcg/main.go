@@ -1,0 +1,114 @@
+// ILU(0)-preconditioned conjugate gradients on a 2D Laplacian — the
+// iterative scenario that motivates fast SpTRSV (§1 of the paper): every
+// CG iteration applies the preconditioner M⁻¹ = U⁻¹·L⁻¹ with two sparse
+// triangular solves, so the solves dominate and their preprocessing is
+// amortised over all iterations.
+//
+//	go run ./examples/ilu_pcg
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	sptrsv "github.com/sss-lab/blocksptrsv"
+)
+
+func main() {
+	const nx, ny = 300, 300
+	a := sptrsv.GridSPD(nx, ny)
+	n := a.Rows
+	fmt.Printf("Poisson problem on a %dx%d grid: n=%d nnz=%d\n", nx, ny, n, a.NNZ())
+
+	// Factor A ≈ L·U with zero fill-in and preprocess both triangles with
+	// the recursive block algorithm.
+	t0 := time.Now()
+	lf, uf, err := sptrsv.ILU0(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := sptrsv.DefaultOptions(0)
+	lSolve, err := sptrsv.Analyze(lf, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uSolve, err := sptrsv.AnalyzeUpper(uf, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ILU(0) + SpTRSV preprocessing: %v\n", time.Since(t0))
+
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+
+	y := make([]float64, n)
+	applyM := func(r, z []float64) { // z = U⁻¹ (L⁻¹ r)
+		lSolve.Solve(r, y)
+		uSolve.Solve(y, z)
+	}
+	identity := func(r, z []float64) { copy(z, r) }
+
+	t0 = time.Now()
+	itPlain, resPlain := cg(a, rhs, identity, 1e-8, 5000)
+	plainTime := time.Since(t0)
+	t0 = time.Now()
+	itPrec, resPrec := cg(a, rhs, applyM, 1e-8, 5000)
+	precTime := time.Since(t0)
+
+	fmt.Printf("CG (no preconditioner):   %4d iterations, residual %.2e, %v\n", itPlain, resPlain, plainTime)
+	fmt.Printf("CG + ILU(0) via SpTRSV:   %4d iterations, residual %.2e, %v\n", itPrec, resPrec, precTime)
+	if itPrec >= itPlain {
+		log.Fatal("preconditioning failed to reduce the iteration count")
+	}
+	fmt.Printf("iteration reduction: %.1fx\n", float64(itPlain)/float64(itPrec))
+}
+
+// cg runs (preconditioned) conjugate gradients and returns the iteration
+// count and final relative residual.
+func cg(a *sptrsv.Matrix[float64], b []float64, applyM func(r, z []float64), tol float64, maxIt int) (int, float64) {
+	n := a.Rows
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	applyM(r, z)
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+	rz := dot(r, z)
+	bnorm := math.Sqrt(dot(b, b))
+	for it := 1; it <= maxIt; it++ {
+		sptrsv.MatVec(a, p, ap)
+		alpha := rz / dot(p, ap)
+		axpy(x, alpha, p)
+		axpy(r, -alpha, ap)
+		rn := math.Sqrt(dot(r, r)) / bnorm
+		if rn < tol {
+			return it, rn
+		}
+		applyM(r, z)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return maxIt, math.Sqrt(dot(r, r)) / bnorm
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(y []float64, alpha float64, x []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}

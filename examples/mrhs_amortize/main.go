@@ -1,0 +1,74 @@
+// Multiple right-hand sides: the direct-solver scenario of the paper's
+// Table 5. Every algorithm pays a preprocessing cost once, then solves k
+// right-hand sides; the recursive block algorithm's heavier analysis is
+// amortised after a few tens of solves by its faster per-solve time.
+//
+//	go run ./examples/mrhs_amortize
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	sptrsv "github.com/sss-lab/blocksptrsv"
+)
+
+func main() {
+	// A power-law lower-triangular system — the load-imbalanced structure
+	// (circuit-like) where blocking pays off most.
+	const n = 150_000
+	rng := rand.New(rand.NewSource(2))
+	bld := sptrsv.NewBuilder[float64](n, n)
+	hubs := n / 64
+	for i := 0; i < n; i++ {
+		deg := 3
+		if rng.Float64() < 0.02 {
+			deg = 96 // hub rows
+		}
+		for d := 0; d < deg && i > 0; d++ {
+			j := rng.Intn(i)
+			if rng.Float64() < 0.3 && i > hubs {
+				j = rng.Intn(hubs) // hub columns
+			}
+			bld.Add(i, j, 0.05*rng.NormFloat64())
+		}
+		bld.Add(i, i, 2+rng.Float64())
+	}
+	l := bld.BuildCSR()
+	fmt.Printf("system: n=%d nnz=%d\n\n", l.Rows, l.NNZ())
+
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+
+	fmt.Printf("%-16s %12s %12s %12s %12s %12s\n",
+		"algorithm", "preprocess", "per solve", "k=10 total", "k=100", "k=1000")
+	for _, name := range []string{"cusparse-like", "sync-free", "block-recursive"} {
+		t0 := time.Now()
+		s, err := sptrsv.NewSolver(name, l, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prep := time.Since(t0)
+
+		s.Solve(rhs, x) // warmup
+		const reps = 5
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			s.Solve(rhs, x)
+		}
+		per := time.Since(t0) / reps
+
+		total := func(k int) time.Duration { return prep + time.Duration(k)*per }
+		fmt.Printf("%-16s %12v %12v %12v %12v %12v\n",
+			name, prep.Round(time.Microsecond), per.Round(time.Microsecond),
+			total(10).Round(time.Millisecond), total(100).Round(time.Millisecond),
+			total(1000).Round(time.Millisecond))
+	}
+	fmt.Println("\nshape to expect (paper Table 5): the block algorithm's preprocessing is the")
+	fmt.Println("largest, but its per-solve time is the smallest, so it wins from k ≈ tens.")
+}

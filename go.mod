@@ -1,0 +1,3 @@
+module github.com/sss-lab/blocksptrsv
+
+go 1.24

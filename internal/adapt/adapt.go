@@ -1,0 +1,110 @@
+// Package adapt implements the paper's adaptive kernel selection (§3.4):
+// per-sub-matrix feature extraction, the Algorithm-7 decision tree with the
+// published thresholds, and the empirical tuner that regenerates the
+// Figure-5 "best kernel" heatmaps from measured performance data.
+package adapt
+
+import (
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/levelset"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// TriFeatures are the selection features of a triangular sub-matrix:
+// average strictly-lower entries per row ("nnz/row"; the separately-stored
+// diagonal is excluded, so a pure chain scores 1 and a diagonal block 0)
+// and the number of level sets.
+type TriFeatures struct {
+	Rows      int
+	StrictNNZ int
+	NNZPerRow float64
+	NLevels   int
+}
+
+// TriFeaturesOf extracts the features from a split triangular block.
+func TriFeaturesOf[T sparse.Float](strict *sparse.CSC[T], info *levelset.Info) TriFeatures {
+	f := TriFeatures{Rows: strict.Rows, StrictNNZ: strict.NNZ(), NLevels: info.NLevels}
+	if f.Rows > 0 {
+		f.NNZPerRow = float64(f.StrictNNZ) / float64(f.Rows)
+	}
+	return f
+}
+
+// SpMVFeatures are the selection features of a square/rectangular
+// sub-matrix: average entries per row (counting empty rows in the
+// denominator) and the fraction of empty rows.
+type SpMVFeatures struct {
+	Rows       int
+	NNZ        int
+	NNZPerRow  float64
+	EmptyRatio float64
+}
+
+// SpMVFeaturesOf extracts the features from a CSR block.
+func SpMVFeaturesOf[T sparse.Float](a *sparse.CSR[T]) SpMVFeatures {
+	return SpMVFeatures{
+		Rows:       a.Rows,
+		NNZ:        a.NNZ(),
+		NNZPerRow:  a.NNZPerRow(),
+		EmptyRatio: a.EmptyRowRatio(),
+	}
+}
+
+// Thresholds hold the decision-tree cut points. The defaults are the
+// values the paper reads off its 373,814-sample tuning run (Figure 5,
+// Algorithm 7); Retune derives machine-specific values.
+type Thresholds struct {
+	// SpTRSV side (Figure 5a).
+	TriLevelSetMaxNNZRow float64 // level-set wins below this nnz/row ...
+	TriLevelSetMaxLevels int     // ... when nlevels is also below this
+	TriChainMaxNNZRow    float64 // the nnz/row≈1 chain band ...
+	TriChainMaxLevels    int     // ... extends to this many levels
+	TriCuSparseMinLevels int     // cuSPARSE-like above this level count
+	// SpMV side (Figure 5b).
+	SpMVScalarMaxNNZRow float64 // scalar kernels at or below, vector above
+	SpMVScalarDCSRMin   float64 // scalar: DCSR above this empty ratio
+	SpMVVectorDCSRMin   float64 // vector: DCSR above this empty ratio
+}
+
+// DefaultThresholds returns the paper's published cut points.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		TriLevelSetMaxNNZRow: 15,
+		TriLevelSetMaxLevels: 20,
+		TriChainMaxNNZRow:    1,
+		TriChainMaxLevels:    100,
+		TriCuSparseMinLevels: 20000,
+		SpMVScalarMaxNNZRow:  12,
+		SpMVScalarDCSRMin:    0.50,
+		SpMVVectorDCSRMin:    0.15,
+	}
+}
+
+// SelectTri is the SpTRSV half of Algorithm 7's decision tree.
+func (t Thresholds) SelectTri(f TriFeatures) kernels.TriKernel {
+	switch {
+	case f.NLevels <= 1:
+		return kernels.TriCompletelyParallel
+	case f.NLevels > t.TriCuSparseMinLevels:
+		return kernels.TriCuSparseLike
+	case f.NNZPerRow <= t.TriChainMaxNNZRow && f.NLevels <= t.TriChainMaxLevels,
+		f.NNZPerRow <= t.TriLevelSetMaxNNZRow && f.NLevels <= t.TriLevelSetMaxLevels:
+		return kernels.TriLevelSet
+	default:
+		return kernels.TriSyncFree
+	}
+}
+
+// SelectSpMV is the SpMV half of Algorithm 7's decision tree.
+func (t Thresholds) SelectSpMV(f SpMVFeatures) kernels.SpMVKernel {
+	if f.NNZPerRow <= t.SpMVScalarMaxNNZRow {
+		if f.EmptyRatio <= t.SpMVScalarDCSRMin {
+			return kernels.SpMVScalarCSR
+		}
+		return kernels.SpMVScalarDCSR
+	}
+	if f.EmptyRatio <= t.SpMVVectorDCSRMin {
+		return kernels.SpMVVectorCSR
+	}
+	return kernels.SpMVVectorDCSR
+}

@@ -1,0 +1,197 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/gen"
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/levelset"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+func TestSelectTriPaperCases(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		name string
+		f    TriFeatures
+		want kernels.TriKernel
+	}{
+		{"diagonal block", TriFeatures{Rows: 100, NLevels: 1}, kernels.TriCompletelyParallel},
+		{"empty block", TriFeatures{}, kernels.TriCompletelyParallel},
+		{"shallow short rows", TriFeatures{Rows: 100, NNZPerRow: 10, NLevels: 15}, kernels.TriLevelSet},
+		{"chain band", TriFeatures{Rows: 100, NNZPerRow: 1, NLevels: 90}, kernels.TriLevelSet},
+		{"chain too deep", TriFeatures{Rows: 100, NNZPerRow: 1, NLevels: 101}, kernels.TriSyncFree},
+		{"shallow long rows", TriFeatures{Rows: 100, NNZPerRow: 40, NLevels: 10}, kernels.TriSyncFree},
+		{"mid depth", TriFeatures{Rows: 100, NNZPerRow: 10, NLevels: 500}, kernels.TriSyncFree},
+		{"very deep", TriFeatures{Rows: 100, NNZPerRow: 3, NLevels: 20001}, kernels.TriCuSparseLike},
+		{"boundary nnz=15 lev=20", TriFeatures{Rows: 100, NNZPerRow: 15, NLevels: 20}, kernels.TriLevelSet},
+		{"boundary lev=20000", TriFeatures{Rows: 100, NNZPerRow: 3, NLevels: 20000}, kernels.TriSyncFree},
+	}
+	for _, tc := range cases {
+		if got := th.SelectTri(tc.f); got != tc.want {
+			t.Errorf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSelectSpMVPaperCases(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		name string
+		f    SpMVFeatures
+		want kernels.SpMVKernel
+	}{
+		{"short rows dense-ish", SpMVFeatures{NNZPerRow: 5, EmptyRatio: 0.2}, kernels.SpMVScalarCSR},
+		{"short rows mostly empty", SpMVFeatures{NNZPerRow: 5, EmptyRatio: 0.8}, kernels.SpMVScalarDCSR},
+		{"long rows few empty", SpMVFeatures{NNZPerRow: 30, EmptyRatio: 0.05}, kernels.SpMVVectorCSR},
+		{"long rows many empty", SpMVFeatures{NNZPerRow: 30, EmptyRatio: 0.4}, kernels.SpMVVectorDCSR},
+		{"boundary nnz=12", SpMVFeatures{NNZPerRow: 12, EmptyRatio: 0.5}, kernels.SpMVScalarCSR},
+		{"boundary empty=15%", SpMVFeatures{NNZPerRow: 13, EmptyRatio: 0.15}, kernels.SpMVVectorCSR},
+	}
+	for _, tc := range cases {
+		if got := th.SelectSpMV(tc.f); got != tc.want {
+			t.Errorf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSelectorsTotal: the decision trees must return a concrete runnable
+// kernel (never Auto/Serial) for any feature combination.
+func TestSelectorsTotal(t *testing.T) {
+	th := DefaultThresholds()
+	f := func(rows uint16, nnzPerRow float64, nlevels uint16, empty float64) bool {
+		if nnzPerRow < 0 {
+			nnzPerRow = -nnzPerRow
+		}
+		empty = empty - float64(int(empty)) // fold into [0,1)
+		if empty < 0 {
+			empty += 1
+		}
+		tk := th.SelectTri(TriFeatures{Rows: int(rows), NNZPerRow: nnzPerRow, NLevels: int(nlevels)})
+		switch tk {
+		case kernels.TriCompletelyParallel, kernels.TriLevelSet, kernels.TriSyncFree, kernels.TriCuSparseLike:
+		default:
+			return false
+		}
+		sk := th.SelectSpMV(SpMVFeatures{Rows: int(rows), NNZPerRow: nnzPerRow, EmptyRatio: empty})
+		switch sk {
+		case kernels.SpMVScalarCSR, kernels.SpMVVectorCSR, kernels.SpMVScalarDCSR, kernels.SpMVVectorDCSR:
+		default:
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(70))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriFeaturesOf(t *testing.T) {
+	m := gen.SerialChain(50, 0, 1)
+	strict, _, err := sparse.SplitDiagCSC(m.ToCSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := TriFeaturesOf(strict, levelset.FromLowerCSR(m))
+	if f.Rows != 50 || f.NLevels != 50 || f.StrictNNZ != 49 {
+		t.Fatalf("features: %+v", f)
+	}
+	if f.NNZPerRow != 49.0/50.0 {
+		t.Fatalf("nnz/row: %g", f.NNZPerRow)
+	}
+}
+
+func TestSpMVFeaturesOf(t *testing.T) {
+	a := gen.EmptyRowsRect(1000, 100, 0.5, 4, 2)
+	f := SpMVFeaturesOf(a)
+	if f.Rows != 1000 || f.NNZ != a.NNZ() {
+		t.Fatalf("features: %+v", f)
+	}
+	if f.EmptyRatio < 0.4 || f.EmptyRatio > 0.6 {
+		t.Fatalf("empty ratio: %g", f.EmptyRatio)
+	}
+}
+
+func TestTuneTriProducesCompleteGrid(t *testing.T) {
+	p := exec.NewPool(4)
+	cells := TuneTri(p, 2000, []int{1, 8}, []int{1, 4, 64}, 2, 80)
+	if len(cells) != 6 {
+		t.Fatalf("cells: got %d want 6", len(cells))
+	}
+	for _, c := range cells {
+		if len(c.GFlops) == 0 {
+			t.Fatalf("cell %+v has no measurements", c.Features)
+		}
+		if c.Best == kernels.TriAuto {
+			t.Fatalf("cell %+v has no best kernel", c.Features)
+		}
+		if c.Features.NLevels <= 1 && c.Best != kernels.TriCompletelyParallel {
+			t.Fatalf("diagonal cell picked %v", c.Best)
+		}
+		for k, v := range c.GFlops {
+			if v <= 0 {
+				t.Fatalf("cell %+v kernel %v has non-positive GFlops", c.Features, k)
+			}
+		}
+	}
+}
+
+func TestTuneSpMVProducesCompleteGrid(t *testing.T) {
+	p := exec.NewPool(4)
+	cells := TuneSpMV(p, 2000, []int{2, 16}, []float64{0, 0.6}, 2, 81)
+	if len(cells) != 4 {
+		t.Fatalf("cells: got %d want 4", len(cells))
+	}
+	for _, c := range cells {
+		if len(c.GFlops) != 4 {
+			t.Fatalf("cell %+v measured %d kernels, want 4", c.Features, len(c.GFlops))
+		}
+		if c.Best == kernels.SpMVAuto {
+			t.Fatal("no best kernel picked")
+		}
+	}
+}
+
+func TestFitThresholdsFallsBackOnEmptyData(t *testing.T) {
+	th := FitThresholds(nil, nil)
+	if th != DefaultThresholds() {
+		t.Fatalf("empty data should keep defaults: %+v", th)
+	}
+}
+
+func TestFitThresholdsUsesData(t *testing.T) {
+	// Synthetic SpMV grid where vector kernels win from nnz/row >= 8.
+	var spmv []SpMVCell
+	for _, d := range []int{2, 4, 8, 16} {
+		best := kernels.SpMVScalarCSR
+		if d >= 8 {
+			best = kernels.SpMVVectorCSR
+		}
+		spmv = append(spmv, SpMVCell{
+			Features: SpMVFeatures{NNZPerRow: float64(d), EmptyRatio: 0.1},
+			Best:     best,
+		})
+	}
+	// Synthetic tri grid where level-set wins up to 40 levels.
+	var tri []TriCell
+	for _, l := range []int{5, 20, 40, 160} {
+		best := kernels.TriLevelSet
+		if l > 40 {
+			best = kernels.TriSyncFree
+		}
+		tri = append(tri, TriCell{
+			Features: TriFeatures{NNZPerRow: 4, NLevels: l},
+			Best:     best,
+		})
+	}
+	th := FitThresholds(tri, spmv)
+	if th.SpMVScalarMaxNNZRow != 7.5 {
+		t.Errorf("SpMVScalarMaxNNZRow: got %g want 7.5", th.SpMVScalarMaxNNZRow)
+	}
+	if th.TriLevelSetMaxLevels != 40 {
+		t.Errorf("TriLevelSetMaxLevels: got %d want 40", th.TriLevelSetMaxLevels)
+	}
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+)
+
+func tinyParams() Params {
+	return Params{
+		Scale:   0.01,
+		Repeats: 1,
+		Warmup:  0,
+		Devices: []exec.Device{{Name: "tiny", Workers: 2, BlockFactor: 64}},
+	}
+}
+
+func TestExperimentNamesDispatch(t *testing.T) {
+	p := tinyParams()
+	for _, id := range []string{"table1", "table2", "table3"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf, p); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+	if err := Run("nope", &bytes.Buffer{}, p); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1And2VerificationAllMatch(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf, tinyParams()); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if strings.Contains(out, "MISMATCH") {
+			t.Fatalf("%s: measured traffic disagrees with formula:\n%s", id, out)
+		}
+		if strings.Count(out, "OK") < 12 {
+			t.Fatalf("%s: expected 12 verification rows:\n%s", id, out)
+		}
+	}
+}
+
+func TestTable3ListsDevices(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(&buf, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tiny", "block-recursive", "sync-free", "cusparse-like"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	var buf bytes.Buffer
+	if err := Figure4(&buf, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kkt_power-like") || !strings.Contains(out, "fullchip-like") {
+		t.Fatalf("figure 4 output missing matrices:\n%s", out)
+	}
+}
+
+func TestFigure5Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	p := tinyParams()
+	var buf bytes.Buffer
+	if err := Figure5(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fitted thresholds") {
+		t.Fatalf("figure 5 output missing thresholds:\n%s", out)
+	}
+	// Heatmap letters must come from the legends.
+	if !strings.ContainsAny(out, "PLSC") {
+		t.Fatal("no SpTRSV heatmap letters")
+	}
+}
+
+func TestFigure6AndSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	p := tinyParams()
+	p.FitThresholds = false
+	var buf bytes.Buffer
+	if err := Figure6(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"geomean", "vs cusparse-like", "vs sync-free", "tmt_sym-like"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 6 missing %q", want)
+		}
+	}
+}
+
+func TestTable4And5Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	p := tinyParams()
+	p.FitThresholds = false
+	var buf bytes.Buffer
+	if err := Table4(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#levels") {
+		t.Fatalf("table 4 malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Table5(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"preprocessing", "1000 iters", "single solve"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table 5 missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	mn, q1, med, q3, mx := quartiles([]float64{4, 1, 3, 2, 5})
+	if mn != 1 || mx != 5 || med != 3 || q1 != 2 || q3 != 4 {
+		t.Fatalf("quartiles: %g %g %g %g %g", mn, q1, med, q3, mx)
+	}
+	if _, _, m, _, _ := quartiles(nil); m != 0 {
+		t.Fatal("empty quartiles")
+	}
+	// Interpolation between points.
+	_, q1, _, _, _ = quartiles([]float64{0, 1})
+	if math.Abs(q1-0.25) > 1e-12 {
+		t.Fatalf("interpolated q1=%g", q1)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := geoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean: %g", g)
+	}
+	if geoMean(nil) != 0 || geoMean([]float64{1, 0}) != 0 {
+		t.Fatal("degenerate geomean")
+	}
+}
+
+func TestGflopsOfAndMs(t *testing.T) {
+	if g := gflopsOf(500_000_000, time.Second); g != 1 {
+		t.Fatalf("gflops: %g", g)
+	}
+	if gflopsOf(100, 0) != 0 {
+		t.Fatal("zero duration")
+	}
+	if ms(1500*time.Microsecond) != "1.500" {
+		t.Fatalf("ms: %s", ms(1500*time.Microsecond))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable("a", "bbbb")
+	tb.add("xx", "y")
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines: %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "bbbb") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.Scale <= 0 || p.Repeats < 1 || len(p.Devices) != 2 {
+		t.Fatalf("defaults: %+v", p)
+	}
+}

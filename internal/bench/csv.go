@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// writeCSV writes rows (first row = header) to <dir>/<name>.csv when dir
+// is non-empty; a no-op otherwise. Plotting scripts consume these files to
+// re-draw the paper's figures.
+func writeCSV(dir, name string, rows [][]string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// csvCell formats a float for CSV output.
+func csvCell(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// speedupHistogram renders the distribution of speedups as an ASCII bar
+// chart over logarithmic bins — the textual counterpart of the paper's
+// log₁₀-scale speedup scatter in Figure 6.
+func speedupHistogram(w io.Writer, title string, v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	edges := []float64{0, 0.5, 0.8, 1, 1.5, 2, 4, 8, math.Inf(1)}
+	labels := []string{"<0.5x", "0.5-0.8x", "0.8-1x", "1-1.5x", "1.5-2x", "2-4x", "4-8x", ">8x"}
+	counts := make([]int, len(labels))
+	for _, x := range v {
+		for b := 0; b < len(labels); b++ {
+			if x >= edges[b] && x < edges[b+1] {
+				counts[b]++
+				break
+			}
+		}
+	}
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for b, label := range labels {
+		bar := strings.Repeat("#", counts[b]*40/maxC)
+		fmt.Fprintf(w, "  %-9s %3d %s\n", label, counts[b], bar)
+	}
+}
+
+// asciiBox renders one box-and-whisker line scaled to [lo, hi] over width
+// columns: whiskers as '-', the interquartile box as '=', the median 'M'.
+func asciiBox(min, q1, med, q3, max, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	col := func(x float64) int {
+		if hi <= lo {
+			return 0
+		}
+		c := int((x - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for c := col(min); c <= col(max); c++ {
+		row[c] = '-'
+	}
+	for c := col(q1); c <= col(q3); c++ {
+		row[c] = '='
+	}
+	row[col(med)] = 'M'
+	return string(row)
+}
+
+// boxPlotTable renders labelled box plots on a shared [lo,hi] axis.
+func boxPlotTable(w io.Writer, lo, hi float64, rows []struct {
+	Label                 string
+	Min, Q1, Med, Q3, Max float64
+}) {
+	const width = 48
+	fmt.Fprintf(w, "  %-16s %-*s\n", "", width, fmt.Sprintf("%.2f%*s%.2f", lo, width-8, "", hi))
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %s\n", r.Label, asciiBox(r.Min, r.Q1, r.Med, r.Q3, r.Max, lo, hi, width))
+	}
+}

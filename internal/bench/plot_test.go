@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpeedupHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	speedupHistogram(&buf, "title", []float64{0.3, 0.9, 1.2, 1.2, 3, 9, 100})
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	for _, label := range []string{"<0.5x", "0.8-1x", "1-1.5x", "2-4x", ">8x"} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("missing bin %q:\n%s", label, out)
+		}
+	}
+	// The 1-1.5x bin holds two samples and is the tallest bar.
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.Contains(l, "1-1.5x") && !strings.Contains(l, "########################################") {
+			t.Fatalf("tallest bin not full width: %q", l)
+		}
+	}
+	// Empty input renders nothing.
+	buf.Reset()
+	speedupHistogram(&buf, "x", nil)
+	if buf.Len() != 0 {
+		t.Fatal("empty histogram produced output")
+	}
+}
+
+func TestAsciiBox(t *testing.T) {
+	row := asciiBox(0.2, 0.4, 0.5, 0.6, 0.9, 0, 1, 20)
+	if len(row) != 20 {
+		t.Fatalf("width %d", len(row))
+	}
+	if !strings.Contains(row, "M") {
+		t.Fatal("median marker missing")
+	}
+	if !strings.Contains(row, "=") || !strings.Contains(row, "-") {
+		t.Fatalf("box/whisker glyphs missing: %q", row)
+	}
+	// Median position roughly mid-axis.
+	if m := strings.IndexByte(row, 'M'); m < 7 || m > 12 {
+		t.Fatalf("median at column %d: %q", m, row)
+	}
+	// Degenerate axis must not panic and clamps to column zero.
+	row = asciiBox(1, 1, 1, 1, 1, 1, 1, 5)
+	if row[0] != 'M' {
+		t.Fatalf("degenerate box: %q", row)
+	}
+}
+
+func TestBoxPlotTable(t *testing.T) {
+	var buf bytes.Buffer
+	boxPlotTable(&buf, 0, 1.5, []struct {
+		Label                 string
+		Min, Q1, Med, Q3, Max float64
+	}{
+		{"alg-a", 0.5, 0.7, 0.8, 0.9, 1.0},
+		{"alg-b", 0.8, 0.9, 1.0, 1.1, 1.4},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "alg-a") || !strings.Contains(out, "alg-b") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if strings.Count(out, "M") != 2 {
+		t.Fatalf("expected 2 medians:\n%s", out)
+	}
+}

@@ -1,0 +1,127 @@
+package block
+
+import (
+	"fmt"
+
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// SolveBatch solves L·X = B for k right-hand sides at once. B and X are
+// dense row-major n×k blocks: the k values of component i occupy
+// B[i*k:(i+1)*k]. Processing all right-hand sides per component pays the
+// sparsity machinery (dependency schedule, row traversal, permutation)
+// once instead of k times — the multi-rhs optimisation of Liu et al.'s
+// follow-up work that the paper cites as its motivating scenario.
+//
+// B is not modified; B and X may alias. Not safe for concurrent use.
+func (s *Solver[T]) SolveBatch(b, x []T, k int) {
+	if k == 1 {
+		s.Solve(b, x)
+		return
+	}
+	if k > 1 && len(s.wbp) < s.n*k {
+		s.wbp = make([]T, s.n*k)
+		if s.perm != nil {
+			s.xbp = make([]T, s.n*k)
+		}
+	}
+	s.solveBatchWith(b, x, k, s.wbp, s.xbp, nil, &s.stats)
+}
+
+// solveBatchWith is the shared batched solve path with injected scratch
+// and optional per-session sync-free states.
+func (s *Solver[T]) solveBatchWith(b, x []T, k int, wb, xb []T, states []*kernels.SyncFreeState, stats *SolveStats) {
+	if k <= 0 || len(b) != s.n*k || len(x) != s.n*k {
+		panic(fmt.Sprintf("block: SolveBatch got len(b)=%d len(x)=%d k=%d want %d", len(b), len(x), k, s.n*k))
+	}
+	w := wb[:s.n*k]
+	xp := x
+	if s.perm != nil {
+		permuteRowsInto(w, b, s.perm, k)
+		xp = xb[:s.n*k]
+	} else {
+		copy(w, b)
+	}
+	for _, st := range s.steps {
+		if st.kind == triSeg {
+			tb := &s.tris[st.idx]
+			s.solveTriBatch(tb, w[tb.lo*k:tb.hi*k], xp[tb.lo*k:tb.hi*k], k, stateFor(states, st.idx, tb))
+		} else {
+			sb := &s.sqs[st.idx]
+			kernels.RunSpMVBatch(s.pool, sb.kernel, sb.csr, sb.dcsr,
+				xp[sb.spec.colLo*k:sb.spec.colHi*k], w[sb.spec.rowLo*k:sb.spec.rowHi*k], k)
+		}
+	}
+	if s.perm != nil {
+		unpermuteRowsInto(x, xp, s.perm, k)
+	}
+	stats.Solves++
+}
+
+func (s *Solver[T]) solveTriBatch(tb *triBlock[T], w, x []T, k int, state *kernels.SyncFreeState) {
+	switch tb.kernel {
+	case kernels.TriCompletelyParallel:
+		kernels.TriDiagOnlySolveBatch(s.pool, tb.diag, w, x, k)
+	case kernels.TriLevelSet:
+		kernels.TriLevelSetSolveBatch(s.pool, tb.strictCSC, tb.diag, tb.info, w, x, k)
+	case kernels.TriSyncFree:
+		kernels.TriSyncFreeSolveBatch(s.pool, state, tb.strictCSC, tb.diag, w, x, k)
+	case kernels.TriCuSparseLike:
+		kernels.TriCuSparseLikeSolveBatch(s.pool, tb.sched, tb.strictCSR, tb.diag, w, x, k)
+	case kernels.TriSerial:
+		kernels.TriSerialSolveBatch(tb.strictCSC, tb.diag, w, x, k)
+	default:
+		panic(fmt.Sprintf("block: unresolved tri kernel %v", tb.kernel))
+	}
+}
+
+// permuteRowsInto gathers row blocks under newIdx: dst[newIdx[i]] row =
+// src[i] row.
+func permuteRowsInto[T sparse.Float](dst, src []T, newIdx []int, k int) {
+	for i, p := range newIdx {
+		copy(dst[p*k:(p+1)*k], src[i*k:(i+1)*k])
+	}
+}
+
+// unpermuteRowsInto undoes permuteRowsInto: dst[i] row = src[newIdx[i]].
+func unpermuteRowsInto[T sparse.Float](dst, src []T, newIdx []int, k int) {
+	for i, p := range newIdx {
+		copy(dst[i*k:(i+1)*k], src[p*k:(p+1)*k])
+	}
+}
+
+// InterleaveRHS packs separate right-hand-side vectors into the row-major
+// n×k block layout SolveBatch expects.
+func InterleaveRHS[T sparse.Float](rhs [][]T) []T {
+	if len(rhs) == 0 {
+		return nil
+	}
+	k, n := len(rhs), len(rhs[0])
+	out := make([]T, n*k)
+	for r, v := range rhs {
+		if len(v) != n {
+			panic(fmt.Sprintf("block: InterleaveRHS got ragged input (%d vs %d)", len(v), n))
+		}
+		for i := 0; i < n; i++ {
+			out[i*k+r] = v[i]
+		}
+	}
+	return out
+}
+
+// DeinterleaveRHS unpacks a row-major n×k block into k separate vectors.
+func DeinterleaveRHS[T sparse.Float](packed []T, k int) [][]T {
+	if k <= 0 || len(packed)%k != 0 {
+		panic(fmt.Sprintf("block: DeinterleaveRHS got len=%d k=%d", len(packed), k))
+	}
+	n := len(packed) / k
+	out := make([][]T, k)
+	for r := range out {
+		out[r] = make([]T, n)
+		for i := 0; i < n; i++ {
+			out[r][i] = packed[i*k+r]
+		}
+	}
+	return out
+}

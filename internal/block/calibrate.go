@@ -1,0 +1,138 @@
+package block
+
+import (
+	"time"
+
+	"math/rand"
+
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// CalibrateKernels re-selects the kernel of every block empirically: each
+// applicable kernel is timed on the block itself and the fastest wins.
+// This takes the paper's adaptive idea (§3.4 — thresholds derived from
+// measured performance data) one step further, to per-block measurements,
+// which matters when the execution substrate differs from the one the
+// thresholds were fitted on. The paper itself notes its thresholds are
+// "in general not the optimal choice"; calibration recovers the per-block
+// optimum at a preprocessing cost of repeats × kernels solves per block.
+//
+// Auxiliary structures of losing kernels are dropped afterwards, restoring
+// the memory footprint of threshold-based selection.
+func (s *Solver[T]) CalibrateKernels(repeats int) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	rng := rand.New(rand.NewSource(12345))
+	var w, x []T
+	grow := func(n int) {
+		if len(w) < n {
+			w = make([]T, n)
+			x = make([]T, n)
+		}
+	}
+	for i := range s.tris {
+		tb := &s.tris[i]
+		n := len(tb.diag)
+		if tb.feats.NLevels <= 1 || n == 0 {
+			continue // completely-parallel is already optimal
+		}
+		grow(n)
+		// Ensure every candidate's auxiliary structures exist.
+		if tb.state == nil {
+			tb.state = kernels.NewSyncFreeState(tb.strictCSC)
+		}
+		if tb.strictCSR == nil {
+			tb.strictCSR = tb.strictCSC.ToCSR()
+		}
+		if tb.sched == nil {
+			tb.sched = kernels.NewMergedSchedule(tb.info, 2*s.pool.Workers())
+		}
+		best, bestD := tb.kernel, time.Duration(1<<62-1)
+		for _, k := range []kernels.TriKernel{
+			kernels.TriLevelSet, kernels.TriSyncFree, kernels.TriCuSparseLike, kernels.TriSerial,
+		} {
+			d := minTime(repeats, func() {
+				fillRand(rng, w[:n])
+				tb.kernel = k
+				s.solveTri(tb, w[:n], x[:n], tb.state)
+			})
+			if d < bestD {
+				best, bestD = k, d
+			}
+		}
+		tb.kernel = best
+		// Drop the losers' structures.
+		if best != kernels.TriSyncFree {
+			tb.state = nil
+		}
+		if best != kernels.TriCuSparseLike {
+			tb.strictCSR = nil
+			tb.sched = nil
+		}
+		// The CSC strict part stays: it backs introspection (SquareNNZ
+		// accounting) and the serial/level-set kernels.
+	}
+	for i := range s.sqs {
+		sb := &s.sqs[i]
+		rows := sb.spec.rowHi - sb.spec.rowLo
+		cols := sb.spec.colHi - sb.spec.colLo
+		if sb.feats.NNZ == 0 {
+			continue
+		}
+		grow(maxInt(rows, cols))
+		if sb.csr == nil {
+			sb.csr = sb.dcsr.ToCSR()
+		}
+		if sb.dcsr == nil {
+			sb.dcsr = sb.csr.ToDCSR()
+		}
+		fillRand(rng, x[:cols])
+		best, bestD := sb.kernel, time.Duration(1<<62-1)
+		for _, k := range []kernels.SpMVKernel{
+			kernels.SpMVScalarCSR, kernels.SpMVVectorCSR,
+			kernels.SpMVScalarDCSR, kernels.SpMVVectorDCSR, kernels.SpMVSerial,
+		} {
+			k := k
+			d := minTime(repeats, func() {
+				kernels.RunSpMV(s.pool, k, sb.csr, sb.dcsr, x[:cols], w[:rows])
+			})
+			if d < bestD {
+				best, bestD = k, d
+			}
+		}
+		sb.kernel = best
+		switch best {
+		case kernels.SpMVScalarDCSR, kernels.SpMVVectorDCSR:
+			sb.csr = nil
+		default:
+			sb.dcsr = nil
+		}
+	}
+}
+
+func minTime(repeats int, fn func()) time.Duration {
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < repeats; r++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func fillRand[T sparse.Float](rng *rand.Rand, v []T) {
+	for i := range v {
+		v[i] = T(rng.Float64() + 0.5)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

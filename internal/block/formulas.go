@@ -1,0 +1,40 @@
+package block
+
+import "math"
+
+// FormulaBUpdates evaluates the paper's Table-1 closed forms: the number
+// of dense-equivalent items updated in the right-hand side b when an
+// n-row dense triangle is divided into 2^x triangular parts.
+//
+//	column block: 2^(x-1)·n + 0.5·n
+//	row block:    2·n − 2^(−x)·n
+//	recursive:    0.5·n·x + n
+func FormulaBUpdates(k Kind, n float64, x int) float64 {
+	switch k {
+	case ColumnBlock:
+		return math.Pow(2, float64(x-1))*n + 0.5*n
+	case RowBlock:
+		return 2*n - math.Pow(2, -float64(x))*n
+	case Recursive:
+		return 0.5*n*float64(x) + n
+	}
+	return math.NaN()
+}
+
+// FormulaXLoads evaluates the paper's Table-2 closed forms: the number of
+// dense-equivalent items loaded from the solution vector x.
+//
+//	column block: n − 2^(−x)·n
+//	row block:    2^(x-1)·n − 0.5·n
+//	recursive:    0.5·n·x
+func FormulaXLoads(k Kind, n float64, x int) float64 {
+	switch k {
+	case ColumnBlock:
+		return n - math.Pow(2, -float64(x))*n
+	case RowBlock:
+		return math.Pow(2, float64(x-1))*n - 0.5*n
+	case Recursive:
+		return 0.5 * n * float64(x)
+	}
+	return math.NaN()
+}

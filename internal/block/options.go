@@ -1,0 +1,124 @@
+// Package block implements the paper's contribution: the column, row and
+// recursive block algorithms for parallel SpTRSV (§3.1), the improved
+// recursive data structure with level-set reordering and alternating
+// triangular/square storage (§3.3), and adaptive per-block kernel selection
+// (§3.4, Algorithm 7).
+package block
+
+import (
+	"github.com/sss-lab/blocksptrsv/internal/adapt"
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+)
+
+// Kind selects which of the three block partitions a solver uses.
+type Kind uint8
+
+const (
+	// Recursive splits the triangle into two half-size triangles plus a
+	// square block, recursively (Algorithm 6 / Figure 2c).
+	Recursive Kind = iota
+	// ColumnBlock splits into vertical panels, each a triangle on top of a
+	// tall rectangle (Algorithm 4 / Figure 2a).
+	ColumnBlock
+	// RowBlock splits into horizontal panels, each a wide rectangle left
+	// of a triangle (Algorithm 5 / Figure 2b).
+	RowBlock
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Recursive:
+		return "recursive"
+	case ColumnBlock:
+		return "column"
+	case RowBlock:
+		return "row"
+	}
+	return "unknown"
+}
+
+// Options configure preprocessing and execution of a block solver.
+// The zero value plus Defaults() gives the paper's recommended
+// configuration: recursive partition, level-set reordering, adaptive
+// kernel selection, recursion cut-off tied to the device size.
+type Options struct {
+	// Pool is the execution pool; nil creates one with Workers workers.
+	Pool exec.Launcher
+	// Workers sizes the pool when Pool is nil; <=0 means GOMAXPROCS.
+	Workers int
+
+	// Kind selects the partition shape.
+	Kind Kind
+	// NSeg is the number of panels for ColumnBlock/RowBlock partitions
+	// (ignored by Recursive). <=1 degenerates to a single triangle.
+	NSeg int
+	// MinBlockRows stops recursive splitting: blocks at or below this many
+	// rows become leaves. <=0 derives the paper's "20 × core count"
+	// analogue from the device (exec.Device.MinBlockRows).
+	MinBlockRows int
+	// MaxDepth caps recursive split depth; 0 means limited only by
+	// MinBlockRows. Depth d yields up to 2^d triangular leaves.
+	MaxDepth int
+
+	// Reorder applies the improved structure's level-set reordering (§3.3)
+	// to every triangular range in the partition tree.
+	Reorder bool
+	// Adaptive selects per-block kernels by the decision tree (§3.4).
+	// When false, ForceTri/ForceSpMV are used for every block.
+	Adaptive bool
+	// Thresholds override the decision-tree cut points; the zero value
+	// selects adapt.DefaultThresholds.
+	Thresholds adapt.Thresholds
+	// ForceTri / ForceSpMV pin the kernels when Adaptive is false.
+	// kernels.TriAuto / kernels.SpMVAuto fall back to adaptive selection.
+	ForceTri  kernels.TriKernel
+	ForceSpMV kernels.SpMVKernel
+
+	// Instrument accumulates per-solve timing of the triangular and SpMV
+	// phases (Figure 4's measurement). It adds two clock reads per
+	// segment per solve.
+	Instrument bool
+
+	// Calibrate replaces threshold-based kernel selection with per-block
+	// measurements after preprocessing: every applicable kernel is timed
+	// on every block and the fastest wins (see Solver.CalibrateKernels).
+	// Costs CalibrateRepeats × kernels solves per block at preprocessing.
+	Calibrate bool
+	// CalibrateRepeats is the best-of-N repeat count; <=0 means 2.
+	CalibrateRepeats int
+	// Auto routes construction through PreprocessAuto: a few candidate
+	// configurations (as-given, no-reorder, single-triangle) are timed and
+	// the fastest kept. Guarantees the solver is never slower than the
+	// best single whole-matrix kernel.
+	Auto bool
+}
+
+// Defaults returns the paper-recommended configuration for a device.
+func Defaults(dev exec.Device) Options {
+	return Options{
+		Pool:         dev.Pool(),
+		Kind:         Recursive,
+		MinBlockRows: dev.MinBlockRows(),
+		Reorder:      true,
+		Adaptive:     true,
+		Thresholds:   adapt.DefaultThresholds(),
+	}
+}
+
+// normalised fills derived fields: pool, thresholds, cut-off.
+func (o Options) normalised() Options {
+	if o.Pool == nil {
+		o.Pool = exec.NewPool(o.Workers)
+	}
+	if o.Thresholds == (adapt.Thresholds{}) {
+		o.Thresholds = adapt.DefaultThresholds()
+	}
+	if o.MinBlockRows <= 0 {
+		o.MinBlockRows = exec.Device{Workers: o.Pool.Workers()}.MinBlockRows()
+	}
+	if o.NSeg < 1 {
+		o.NSeg = 1
+	}
+	return o
+}

@@ -1,0 +1,205 @@
+package block
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sss-lab/blocksptrsv/internal/gen"
+)
+
+func TestBuildPlanInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		o := Options{
+			Kind:         Kind(rng.Intn(3)),
+			NSeg:         1 + rng.Intn(9),
+			MinBlockRows: 1 + rng.Intn(64),
+			MaxDepth:     rng.Intn(6),
+		}
+		plan := buildPlan(n, o)
+		if n == 0 {
+			return plan == nil
+		}
+		return planChecks(n, plan) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(100))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanChecksCatchesBadPlans(t *testing.T) {
+	bad := [][]segSpec{
+		// Gap in the diagonal.
+		{{triSeg, 0, 4, 0, 4}, {triSeg, 5, 8, 5, 8}},
+		// Square reads unsolved columns.
+		{{triSeg, 0, 4, 0, 4}, {sqSeg, 4, 8, 0, 5}, {triSeg, 4, 8, 4, 8}},
+		// Square updates already-solved rows.
+		{{triSeg, 0, 4, 0, 4}, {sqSeg, 2, 8, 0, 4}, {triSeg, 4, 8, 4, 8}},
+		// Diagonal not fully covered.
+		{{triSeg, 0, 4, 0, 4}},
+		// Non-square triangle spec.
+		{{triSeg, 0, 4, 0, 5}, {triSeg, 4, 8, 4, 8}},
+	}
+	for i, plan := range bad {
+		if err := planChecks(8, plan); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestColumnAndRowPlansShape(t *testing.T) {
+	o := Options{Kind: ColumnBlock, NSeg: 4}
+	plan := buildPlan(100, o)
+	// 4 triangles, 3 rectangles, alternating tri,sq,...,tri.
+	if len(plan) != 7 {
+		t.Fatalf("column plan length %d", len(plan))
+	}
+	if plan[0].kind != triSeg || plan[1].kind != sqSeg || plan[6].kind != triSeg {
+		t.Fatalf("column plan order: %v", plan)
+	}
+	// Column rectangles span all remaining rows.
+	if plan[1].rowHi != 100 {
+		t.Fatalf("column rect rows: %v", plan[1])
+	}
+
+	o.Kind = RowBlock
+	plan = buildPlan(100, o)
+	if len(plan) != 7 {
+		t.Fatalf("row plan length %d", len(plan))
+	}
+	// Row rectangles read all previous columns.
+	if plan[1].kind != sqSeg || plan[1].colLo != 0 || plan[1].colHi != 25 {
+		t.Fatalf("row rect: %v", plan[1])
+	}
+}
+
+func TestRecursivePlanShape(t *testing.T) {
+	o := Options{Kind: Recursive, MinBlockRows: 1, MaxDepth: 2}
+	plan := buildPlan(8, o)
+	want := []segSpec{
+		{triSeg, 0, 2, 0, 2},
+		{sqSeg, 2, 4, 0, 2},
+		{triSeg, 2, 4, 2, 4},
+		{sqSeg, 4, 8, 0, 4},
+		{triSeg, 4, 6, 4, 6},
+		{sqSeg, 6, 8, 4, 6},
+		{triSeg, 6, 8, 6, 8},
+	}
+	if len(plan) != len(want) {
+		t.Fatalf("plan: %v", plan)
+	}
+	for i := range want {
+		if plan[i] != want[i] {
+			t.Fatalf("plan[%d]=%v want %v", i, plan[i], want[i])
+		}
+	}
+}
+
+func TestNSegClampedToN(t *testing.T) {
+	plan := buildPlan(3, Options{Kind: ColumnBlock, NSeg: 10})
+	if err := planChecks(3, plan); err != nil {
+		t.Fatal(err)
+	}
+	plan = buildPlan(3, Options{Kind: RowBlock, NSeg: 10})
+	if err := planChecks(3, plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderRangesTree(t *testing.T) {
+	o := Options{Kind: Recursive, MinBlockRows: 2, MaxDepth: 0}
+	passes := reorderRanges(16, o)
+	if len(passes) == 0 || len(passes[0]) != 1 || passes[0][0] != [2]int{0, 16} {
+		t.Fatalf("pass 0: %v", passes)
+	}
+	if len(passes[1]) != 2 || passes[1][0] != [2]int{0, 8} || passes[1][1] != [2]int{8, 16} {
+		t.Fatalf("pass 1: %v", passes[1])
+	}
+	// Every pass's ranges are disjoint and within bounds.
+	for d, pass := range passes {
+		last := 0
+		for _, r := range pass {
+			if r[0] < last || r[1] <= r[0] || r[1] > 16 {
+				t.Fatalf("pass %d bad range %v", d, r)
+			}
+			last = r[1]
+		}
+	}
+	// Panel partitions get exactly one whole-matrix pass.
+	passes = reorderRanges(16, Options{Kind: ColumnBlock, NSeg: 4})
+	if len(passes) != 1 || passes[0][0] != [2]int{0, 16} {
+		t.Fatalf("panel passes: %v", passes)
+	}
+	if reorderRanges(0, o) != nil {
+		t.Fatal("empty matrix should have no passes")
+	}
+}
+
+// TestTrafficMatchesPaperFormulas reproduces Tables 1 and 2: the measured
+// traffic of each partition on a dense triangle equals the closed forms
+// for 2^x parts.
+func TestTrafficMatchesPaperFormulas(t *testing.T) {
+	n := 64
+	l := gen.DenseLower(n, 40)
+	for x := 1; x <= 4; x++ {
+		parts := 1 << x
+		for _, kind := range []Kind{Recursive, ColumnBlock, RowBlock} {
+			o := Options{Workers: 1, Kind: kind, Adaptive: true, MinBlockRows: 1}
+			if kind == Recursive {
+				o.MaxDepth = x
+			} else {
+				o.NSeg = parts
+			}
+			s, err := Preprocess(l, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.NumTriBlocks() != parts {
+				t.Fatalf("%v x=%d: %d parts", kind, x, s.NumTriBlocks())
+			}
+			tr := s.Traffic()
+			wantB := FormulaBUpdates(kind, float64(n), x)
+			wantX := FormulaXLoads(kind, float64(n), x)
+			if float64(tr.BUpdates) != wantB {
+				t.Errorf("%v x=%d BUpdates=%d want %g", kind, x, tr.BUpdates, wantB)
+			}
+			if float64(tr.XLoads) != wantX {
+				t.Errorf("%v x=%d XLoads=%d want %g", kind, x, tr.XLoads, wantX)
+			}
+		}
+	}
+}
+
+func TestFormulaSpotValuesFromPaper(t *testing.T) {
+	// Table 1 row "4 parts": col 2.5n, row 1.75n, rec 2n.
+	n := 1.0
+	cases := []struct {
+		kind Kind
+		x    int
+		b, l float64
+	}{
+		{ColumnBlock, 2, 2.5, 0.75},
+		{RowBlock, 2, 1.75, 1.5},
+		{Recursive, 2, 2.0, 1.0},
+		{ColumnBlock, 4, 8.5, 0.9375},
+		{RowBlock, 4, 1.9375, 7.5},
+		{Recursive, 4, 3.0, 2.0},
+		{ColumnBlock, 8, 128.5, 0.99609375},
+		{Recursive, 8, 5.0, 4.0},
+		{Recursive, 16, 9.0, 8.0},
+	}
+	for _, c := range cases {
+		if got := FormulaBUpdates(c.kind, n, c.x); math.Abs(got-c.b) > 1e-12 {
+			t.Errorf("B %v x=%d: got %g want %g", c.kind, c.x, got, c.b)
+		}
+		if got := FormulaXLoads(c.kind, n, c.x); math.Abs(got-c.l) > 1e-12 {
+			t.Errorf("X %v x=%d: got %g want %g", c.kind, c.x, got, c.l)
+		}
+	}
+	if !math.IsNaN(FormulaBUpdates(Kind(9), 1, 1)) || !math.IsNaN(FormulaXLoads(Kind(9), 1, 1)) {
+		t.Error("unknown kind should be NaN")
+	}
+}

@@ -1,0 +1,75 @@
+package block
+
+import (
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// Session is a per-goroutine solving context over a shared preprocessed
+// Solver. The expensive analysis (permutation, blocks, kernel choices) is
+// immutable and shared; each session owns the mutable pieces — the working
+// vectors and, for sync-free blocks, private dependency counters — so any
+// number of sessions may Solve concurrently.
+//
+// Typical server usage: Analyze once, hand one Session to each request
+// goroutine.
+type Session[T sparse.Float] struct {
+	s        *Solver[T]
+	wp, xp   []T
+	wbp, xbp []T
+	// states[i] is the private sync-free state of triangular block i, or
+	// nil when block i's kernel needs no mutable state.
+	states []*kernels.SyncFreeState
+	stats  SolveStats
+}
+
+// NewSession returns a fresh concurrent solving context. Sessions are
+// cheap relative to preprocessing: two n-vectors plus one int32 counter
+// array per sync-free block.
+func (s *Solver[T]) NewSession() *Session[T] {
+	ses := &Session[T]{s: s, wp: make([]T, s.n)}
+	if s.perm != nil {
+		ses.xp = make([]T, s.n)
+	}
+	ses.states = make([]*kernels.SyncFreeState, len(s.tris))
+	for i := range s.tris {
+		if s.tris[i].kernel == kernels.TriSyncFree {
+			// The base in-degree array is immutable and shared; only the
+			// live counters are private.
+			ses.states[i] = kernels.NewSyncFreeStateFromCounts(s.tris[i].state.BaseCounts())
+		}
+	}
+	return ses
+}
+
+// Rows reports the system size.
+func (ses *Session[T]) Rows() int { return ses.s.n }
+
+// Name identifies the underlying solver configuration.
+func (ses *Session[T]) Name() string { return ses.s.Name() }
+
+// Stats returns this session's accumulated instrumentation counters.
+func (ses *Session[T]) Stats() SolveStats { return ses.stats }
+
+// Solve computes x with L·x = b using this session's private scratch.
+// Sessions of the same Solver may call Solve concurrently; a single
+// Session must not.
+func (ses *Session[T]) Solve(b, x []T) {
+	ses.s.solveWith(b, x, ses.wp, ses.xp, ses.states, &ses.stats)
+}
+
+// SolveBatch is the batched counterpart of Solve (see Solver.SolveBatch).
+func (ses *Session[T]) SolveBatch(b, x []T, k int) {
+	if k == 1 {
+		ses.Solve(b, x)
+		return
+	}
+	n := ses.s.n
+	if k > 1 && len(ses.wbp) < n*k {
+		ses.wbp = make([]T, n*k)
+		if ses.s.perm != nil {
+			ses.xbp = make([]T, n*k)
+		}
+	}
+	ses.s.solveBatchWith(b, x, k, ses.wbp, ses.xbp, ses.states, &ses.stats)
+}

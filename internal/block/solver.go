@@ -1,0 +1,443 @@
+package block
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/sss-lab/blocksptrsv/internal/adapt"
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/levelset"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// Traffic is the dense-equivalent data movement of one solve, the metric
+// of the paper's Tables 1 and 2: BUpdates counts items written to the
+// evolving right-hand side (each triangular row once, plus each square
+// block's row extent), XLoads counts items of the solution vector read by
+// square blocks (each square's column extent). Both are static properties
+// of the partition, computed at preprocessing time.
+type Traffic struct {
+	BUpdates int64
+	XLoads   int64
+}
+
+// SolveStats accumulates instrumented per-phase timings (Options.
+// Instrument), the measurement behind Figure 4.
+type SolveStats struct {
+	TriTime   time.Duration
+	SpMVTime  time.Duration
+	TriCalls  int64
+	SpMVCalls int64
+	Solves    int64
+}
+
+// triBlock is a preprocessed triangular diagonal block: strictly-lower
+// storage plus separate diagonal (§3.3), with the auxiliary structures of
+// its selected kernel.
+type triBlock[T sparse.Float] struct {
+	lo, hi    int
+	diag      []T
+	strictCSC *sparse.CSC[T]
+	strictCSR *sparse.CSR[T]          // cusparse-like only
+	info      *levelset.Info          // level-set only
+	sched     *kernels.MergedSchedule // cusparse-like only
+	state     *kernels.SyncFreeState  // sync-free only
+	kernel    kernels.TriKernel
+	feats     adapt.TriFeatures
+}
+
+// sqBlock is a preprocessed off-diagonal block: CSR or DCSR (exactly one
+// is non-nil, per the selected kernel's needs).
+type sqBlock[T sparse.Float] struct {
+	spec   segSpec
+	csr    *sparse.CSR[T]
+	dcsr   *sparse.DCSR[T]
+	kernel kernels.SpMVKernel
+	feats  adapt.SpMVFeatures
+}
+
+type planStep struct {
+	kind segKind
+	idx  int
+}
+
+// Solver is a preprocessed block SpTRSV. Construct with Preprocess; Solve
+// may be called any number of times but not concurrently (it owns scratch
+// vectors). It implements the kernels.Solver interface.
+type Solver[T sparse.Float] struct {
+	n        int
+	opts     Options
+	pool     exec.Launcher
+	perm     []int // newIdx[original] = permuted position; nil without reorder
+	tris     []triBlock[T]
+	sqs      []sqBlock[T]
+	steps    []planStep
+	wp, xp   []T
+	wbp, xbp []T // lazily grown scratch of SolveBatch
+	traffic  Traffic
+	stats    SolveStats
+	sqNNZ    int
+}
+
+// Preprocess builds a block solver for the lower-triangular system L
+// according to opts. It performs the full pipeline of §3.3: optional
+// recursive level-set reordering, partition into triangular and square
+// blocks stored in execution order, per-block format choice (CSC triangles
+// with separated diagonals, CSR/DCSR squares) and kernel selection.
+func Preprocess[T sparse.Float](l *sparse.CSR[T], opts Options) (*Solver[T], error) {
+	o := opts.normalised()
+	if err := sparse.CheckLowerSolvable(l); err != nil {
+		return nil, err
+	}
+	n := l.Rows
+	s := &Solver[T]{n: n, opts: o, pool: o.Pool}
+
+	plan := buildPlan(n, o)
+	if err := planChecks(n, plan); err != nil {
+		return nil, err
+	}
+
+	// Improved structure (§3.3): reorder every triangular range of the
+	// partition tree by its own level-set order, coarsest range first.
+	cur := l
+	if o.Reorder {
+		var total []int
+		for _, pass := range reorderRanges(n, o) {
+			passPerm := make([]int, n)
+			for i := range passPerm {
+				passPerm[i] = i
+			}
+			changed := false
+			for _, r := range pass {
+				lo, hi := r[0], r[1]
+				sub := sparse.SubCSR(cur, lo, hi, lo, hi)
+				order := levelset.FromLowerCSR(sub).Order()
+				for i, p := range order {
+					passPerm[lo+i] = lo + p
+					if p != i {
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				continue
+			}
+			var err error
+			cur, err = sparse.PermuteSym(cur, passPerm)
+			if err != nil {
+				return nil, fmt.Errorf("block: reorder pass failed: %w", err)
+			}
+			if total == nil {
+				total = passPerm
+			} else {
+				total = sparse.ComposePerm(total, passPerm)
+			}
+		}
+		s.perm = total
+	}
+
+	cscAll := cur.ToCSC()
+	s.traffic.BUpdates = int64(n)
+	for _, spec := range plan {
+		switch spec.kind {
+		case triSeg:
+			tb, err := buildTriBlock[T](cscAll, spec, o)
+			if err != nil {
+				return nil, err
+			}
+			s.steps = append(s.steps, planStep{triSeg, len(s.tris)})
+			s.tris = append(s.tris, tb)
+		case sqSeg:
+			sb := buildSqBlock[T](cur, spec, o)
+			s.traffic.BUpdates += int64(spec.rowHi - spec.rowLo)
+			s.traffic.XLoads += int64(spec.colHi - spec.colLo)
+			s.sqNNZ += sb.feats.NNZ
+			s.steps = append(s.steps, planStep{sqSeg, len(s.sqs)})
+			s.sqs = append(s.sqs, sb)
+		}
+	}
+	s.wp = make([]T, n)
+	if s.perm != nil {
+		s.xp = make([]T, n)
+	}
+	if o.Calibrate {
+		reps := o.CalibrateRepeats
+		if reps <= 0 {
+			reps = 2
+		}
+		s.CalibrateKernels(reps)
+	}
+	return s, nil
+}
+
+func buildTriBlock[T sparse.Float](cscAll *sparse.CSC[T], spec segSpec, o Options) (triBlock[T], error) {
+	sub := sparse.SubCSC(cscAll, spec.rowLo, spec.rowHi, spec.colLo, spec.colHi)
+	strict, diag, err := sparse.SplitDiagCSC(sub)
+	if err != nil {
+		return triBlock[T]{}, fmt.Errorf("block: triangular block %v: %w", spec, err)
+	}
+	info := levelset.FromLowerCSC(strict)
+	tb := triBlock[T]{
+		lo: spec.rowLo, hi: spec.rowHi,
+		diag:      diag,
+		strictCSC: strict,
+		info:      info,
+		feats:     adapt.TriFeaturesOf(strict, info),
+	}
+	switch {
+	case tb.feats.NLevels <= 1:
+		// A diagonal-only block is completely parallel no matter what the
+		// caller forced; the kernels are semantically identical here and
+		// this one never loses.
+		tb.kernel = kernels.TriCompletelyParallel
+	case o.Adaptive || o.ForceTri == kernels.TriAuto:
+		tb.kernel = o.Thresholds.SelectTri(tb.feats)
+	case o.ForceTri == kernels.TriCompletelyParallel:
+		return triBlock[T]{}, fmt.Errorf("block: cannot force completely-parallel kernel on block %v with %d levels", spec, tb.feats.NLevels)
+	default:
+		tb.kernel = o.ForceTri
+	}
+	switch tb.kernel {
+	case kernels.TriSyncFree:
+		tb.state = kernels.NewSyncFreeState(strict)
+	case kernels.TriCuSparseLike:
+		tb.strictCSR = strict.ToCSR()
+		tb.sched = kernels.NewMergedSchedule(info, 2*o.Pool.Workers())
+	}
+	// level-set keeps info; completely-parallel and serial need nothing.
+	return tb, nil
+}
+
+func buildSqBlock[T sparse.Float](cur *sparse.CSR[T], spec segSpec, o Options) sqBlock[T] {
+	csr := sparse.SubCSR(cur, spec.rowLo, spec.rowHi, spec.colLo, spec.colHi)
+	sb := sqBlock[T]{spec: spec, csr: csr, feats: adapt.SpMVFeaturesOf(csr)}
+	if o.Adaptive || o.ForceSpMV == kernels.SpMVAuto {
+		sb.kernel = o.Thresholds.SelectSpMV(sb.feats)
+	} else {
+		sb.kernel = o.ForceSpMV
+	}
+	switch sb.kernel {
+	case kernels.SpMVScalarDCSR, kernels.SpMVVectorDCSR:
+		// DCSR kernels keep only the doubly-compressed form — dropping the
+		// empty-row pointer storage is the format's point.
+		sb.dcsr = csr.ToDCSR()
+		sb.csr = nil
+	}
+	return sb
+}
+
+// Rows reports the system size.
+func (s *Solver[T]) Rows() int { return s.n }
+
+// Name identifies the solver configuration for reports.
+func (s *Solver[T]) Name() string {
+	suffix := ""
+	if !s.opts.Reorder {
+		suffix = "-noreorder"
+	}
+	return "block-" + s.opts.Kind.String() + suffix
+}
+
+// Traffic reports the partition's dense-equivalent traffic (Tables 1–2).
+func (s *Solver[T]) Traffic() Traffic { return s.traffic }
+
+// NumTriBlocks reports how many triangular leaves the partition produced.
+func (s *Solver[T]) NumTriBlocks() int { return len(s.tris) }
+
+// NumSquareBlocks reports how many off-diagonal blocks the partition
+// produced.
+func (s *Solver[T]) NumSquareBlocks() int { return len(s.sqs) }
+
+// SquareNNZ reports how many nonzeros landed in off-diagonal blocks — the
+// quantity the level-set reordering of §3.3 increases ("more nonzeros are
+// concentrated in square parts").
+func (s *Solver[T]) SquareNNZ() int { return s.sqNNZ }
+
+// Perm returns a copy of the applied symmetric permutation
+// (newIdx[original] = position), or nil when no reordering was applied.
+func (s *Solver[T]) Perm() []int {
+	if s.perm == nil {
+		return nil
+	}
+	return append([]int(nil), s.perm...)
+}
+
+// TriKernelCounts tallies the selected SpTRSV kernel per triangular block.
+func (s *Solver[T]) TriKernelCounts() map[kernels.TriKernel]int {
+	m := make(map[kernels.TriKernel]int)
+	for i := range s.tris {
+		m[s.tris[i].kernel]++
+	}
+	return m
+}
+
+// SpMVKernelCounts tallies the selected SpMV kernel per square block.
+func (s *Solver[T]) SpMVKernelCounts() map[kernels.SpMVKernel]int {
+	m := make(map[kernels.SpMVKernel]int)
+	for i := range s.sqs {
+		m[s.sqs[i].kernel]++
+	}
+	return m
+}
+
+// Describe returns a multi-line report of the preprocessed structure:
+// partition shape, per-kernel block counts, square-nnz share and traffic —
+// the introspection used by examples and tools.
+func (s *Solver[T]) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: n=%d, %d triangular + %d square blocks\n",
+		s.Name(), s.n, len(s.tris), len(s.sqs))
+	totalNNZ := s.sqNNZ
+	for i := range s.tris {
+		totalNNZ += s.tris[i].strictCSC.NNZ() + len(s.tris[i].diag)
+	}
+	share := 0.0
+	if totalNNZ > 0 {
+		share = 100 * float64(s.sqNNZ) / float64(totalNNZ)
+	}
+	fmt.Fprintf(&sb, "square blocks hold %.1f%% of nonzeros; reordered=%v\n", share, s.perm != nil)
+	fmt.Fprintf(&sb, "traffic per solve: %d b-updates, %d x-loads (dense-equivalent)\n",
+		s.traffic.BUpdates, s.traffic.XLoads)
+	fmt.Fprintf(&sb, "tri kernels: %v\n", formatTriCounts(s.TriKernelCounts()))
+	fmt.Fprintf(&sb, "spmv kernels: %v", formatSpMVCounts(s.SpMVKernelCounts()))
+	return sb.String()
+}
+
+func formatTriCounts(m map[kernels.TriKernel]int) string {
+	order := []kernels.TriKernel{
+		kernels.TriCompletelyParallel, kernels.TriLevelSet,
+		kernels.TriSyncFree, kernels.TriCuSparseLike, kernels.TriSerial,
+	}
+	return formatCounts(order, func(k kernels.TriKernel) (string, int) { return k.String(), m[k] })
+}
+
+func formatSpMVCounts(m map[kernels.SpMVKernel]int) string {
+	order := []kernels.SpMVKernel{
+		kernels.SpMVScalarCSR, kernels.SpMVVectorCSR,
+		kernels.SpMVScalarDCSR, kernels.SpMVVectorDCSR, kernels.SpMVSerial,
+	}
+	return formatCounts(order, func(k kernels.SpMVKernel) (string, int) { return k.String(), m[k] })
+}
+
+// formatCounts renders kernel tallies in a stable order (map iteration
+// order would make Describe non-deterministic).
+func formatCounts[K comparable](order []K, get func(K) (string, int)) string {
+	var sb strings.Builder
+	first := true
+	for _, k := range order {
+		name, n := get(k)
+		if n == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%s\u00d7%d", name, n)
+	}
+	if first {
+		return "none"
+	}
+	return sb.String()
+}
+
+// Stats returns the accumulated instrumentation counters.
+func (s *Solver[T]) Stats() SolveStats { return s.stats }
+
+// ResetStats clears the instrumentation counters.
+func (s *Solver[T]) ResetStats() { s.stats = SolveStats{} }
+
+// Solve computes x with L·x = b. b is not modified; b and x may be the
+// same slice. Not safe for concurrent use — the solver owns scratch state;
+// use NewSession for concurrent solving over the same analysis.
+func (s *Solver[T]) Solve(b, x []T) {
+	s.solveWith(b, x, s.wp, s.xp, nil, &s.stats)
+}
+
+// solveWith is the shared solve path: w and xp are the caller's scratch
+// (xp only used when a permutation is active), states optionally overrides
+// the per-block sync-free states (sessions pass their own), and stats
+// receives instrumentation.
+func (s *Solver[T]) solveWith(b, x, w, xpScratch []T, states []*kernels.SyncFreeState, stats *SolveStats) {
+	if len(b) != s.n || len(x) != s.n {
+		panic(fmt.Sprintf("block: Solve got len(b)=%d len(x)=%d want %d", len(b), len(x), s.n))
+	}
+	xp := x
+	if s.perm != nil {
+		sparse.PermuteVecInto(w, b, s.perm)
+		xp = xpScratch
+	} else {
+		copy(w, b)
+	}
+	s.solveSteps(w, xp, states, s.opts.Instrument, stats)
+	if s.perm != nil {
+		sparse.UnpermuteVecInto(x, xp, s.perm)
+	}
+	stats.Solves++
+}
+
+func (s *Solver[T]) solveSteps(w, xp []T, states []*kernels.SyncFreeState, instrument bool, stats *SolveStats) {
+	for _, st := range s.steps {
+		var t0 time.Time
+		if instrument {
+			t0 = time.Now()
+		}
+		if st.kind == triSeg {
+			tb := &s.tris[st.idx]
+			s.solveTri(tb, w[tb.lo:tb.hi], xp[tb.lo:tb.hi], stateFor(states, st.idx, tb))
+			if instrument {
+				stats.TriTime += time.Since(t0)
+				stats.TriCalls++
+			}
+		} else {
+			sb := &s.sqs[st.idx]
+			kernels.RunSpMV(s.pool, sb.kernel, sb.csr, sb.dcsr,
+				xp[sb.spec.colLo:sb.spec.colHi], w[sb.spec.rowLo:sb.spec.rowHi])
+			if instrument {
+				stats.SpMVTime += time.Since(t0)
+				stats.SpMVCalls++
+			}
+		}
+	}
+}
+
+// stateFor picks the sync-free state: the session's private copy when one
+// exists, the solver-owned one otherwise.
+func stateFor[T sparse.Float](states []*kernels.SyncFreeState, idx int, tb *triBlock[T]) *kernels.SyncFreeState {
+	if states != nil && states[idx] != nil {
+		return states[idx]
+	}
+	return tb.state
+}
+
+func (s *Solver[T]) solveTri(tb *triBlock[T], w, x []T, state *kernels.SyncFreeState) {
+	switch tb.kernel {
+	case kernels.TriCompletelyParallel:
+		kernels.TriDiagOnlySolve(s.pool, tb.diag, w, x)
+	case kernels.TriLevelSet:
+		kernels.TriLevelSetSolve(s.pool, tb.strictCSC, tb.diag, tb.info, w, x)
+	case kernels.TriSyncFree:
+		kernels.TriSyncFreeSolve(s.pool, state, tb.strictCSC, tb.diag, w, x)
+	case kernels.TriCuSparseLike:
+		kernels.TriCuSparseLikeSolve(s.pool, tb.sched, tb.strictCSR, tb.diag, w, x)
+	case kernels.TriSerial:
+		kernels.TriSerialSolve(tb.strictCSC, tb.diag, w, x)
+	default:
+		panic(fmt.Sprintf("block: unresolved tri kernel %v", tb.kernel))
+	}
+}
+
+// SolveMulti solves L·X = B column by column: B and X are sets of
+// right-hand sides / solutions of equal length. This is the
+// multiple-right-hand-sides scenario the paper's preprocessing cost
+// amortises over (§4.4).
+func (s *Solver[T]) SolveMulti(b, x [][]T) {
+	if len(b) != len(x) {
+		panic(fmt.Sprintf("block: SolveMulti got %d rhs and %d solutions", len(b), len(x)))
+	}
+	for k := range b {
+		s.Solve(b[k], x[k])
+	}
+}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// AtomicAddFloat atomically adds v to *p with a compare-and-swap loop on
+// the float's bit pattern — the CPU analogue of CUDA's atomicAdd on
+// float/double. The pointer must be naturally aligned, which Go guarantees
+// for slice elements of float32/float64.
+func AtomicAddFloat[T sparse.Float](p *T, v T) {
+	if unsafe.Sizeof(*p) == 8 {
+		ap := (*uint64)(unsafe.Pointer(p))
+		for {
+			old := atomic.LoadUint64(ap)
+			nv := math.Float64bits(math.Float64frombits(old) + float64(v))
+			if atomic.CompareAndSwapUint64(ap, old, nv) {
+				return
+			}
+		}
+	}
+	ap := (*uint32)(unsafe.Pointer(p))
+	for {
+		old := atomic.LoadUint32(ap)
+		nv := math.Float32bits(math.Float32frombits(old) + float32(v))
+		if atomic.CompareAndSwapUint32(ap, old, nv) {
+			return
+		}
+	}
+}
+
+// AtomicLoadFloat atomically reads *p.
+func AtomicLoadFloat[T sparse.Float](p *T) T {
+	if unsafe.Sizeof(*p) == 8 {
+		return T(math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(p)))))
+	}
+	return T(math.Float32frombits(atomic.LoadUint32((*uint32)(unsafe.Pointer(p)))))
+}
+
+// AtomicStoreFloat atomically writes v to *p.
+func AtomicStoreFloat[T sparse.Float](p *T, v T) {
+	if unsafe.Sizeof(*p) == 8 {
+		atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(float64(v)))
+		return
+	}
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(p)), math.Float32bits(float32(v)))
+}
+
+// AtomicMaxFloat atomically raises *p to v if v is larger.
+func AtomicMaxFloat[T sparse.Float](p *T, v T) {
+	if unsafe.Sizeof(*p) == 8 {
+		ap := (*uint64)(unsafe.Pointer(p))
+		for {
+			old := atomic.LoadUint64(ap)
+			if float64(v) <= math.Float64frombits(old) {
+				return
+			}
+			if atomic.CompareAndSwapUint64(ap, old, math.Float64bits(float64(v))) {
+				return
+			}
+		}
+	}
+	ap := (*uint32)(unsafe.Pointer(p))
+	for {
+		old := atomic.LoadUint32(ap)
+		if float32(v) <= math.Float32frombits(old) {
+			return
+		}
+		if atomic.CompareAndSwapUint32(ap, old, math.Float32bits(float32(v))) {
+			return
+		}
+	}
+}
+
+// SpinUntilZero busy-waits until the counter reaches zero, the analogue of
+// a sync-free warp spinning on a component's in-degree. It spins a short
+// burst, then yields to the scheduler so that on small pools the goroutine
+// holding the dependency can run.
+func SpinUntilZero(c *atomic.Int32) {
+	for spins := 0; ; spins++ {
+		if c.Load() == 0 {
+			return
+		}
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// SpinUntilNonZero busy-waits until the flag becomes non-zero — the
+// ready-flag counterpart of SpinUntilZero used by gather-form sync-free
+// kernels.
+func SpinUntilNonZero(c *atomic.Int32) {
+	for spins := 0; ; spins++ {
+		if c.Load() != 0 {
+			return
+		}
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}

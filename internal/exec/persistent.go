@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PersistentPool keeps its workers resident between launches — the
+// persistent-kernel style of GPU programming, where warps stay on the
+// device and receive work instead of being relaunched. Compared to Pool's
+// goroutine-per-launch model it trades a Close() obligation for lower
+// per-launch latency, which matters for level-set schedules that launch
+// once per level.
+//
+// A PersistentPool serialises launches: ParallelFor and Run hold an
+// internal lock for the duration of the call, so concurrent launches queue
+// rather than interleave (matching the single in-order stream of the
+// paper's GPU execution).
+type PersistentPool struct {
+	workers  int
+	launches atomic.Int64
+
+	mu   sync.Mutex // one launch at a time
+	jobs []chan job
+	wg   sync.WaitGroup
+
+	closed atomic.Bool
+}
+
+type job struct {
+	body  func(lo, hi int)
+	n     int
+	grain int
+	next  *atomic.Int64
+	done  *sync.WaitGroup
+}
+
+// NewPersistentPool starts workers resident goroutines. The pool must be
+// Closed when no longer needed; a leaked pool leaks its goroutines.
+// A non-positive count selects GOMAXPROCS.
+func NewPersistentPool(workers int) *PersistentPool {
+	p := &PersistentPool{workers: NewPool(workers).Workers()}
+	p.jobs = make([]chan job, p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs[w] = make(chan job, 1)
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *PersistentPool) worker(id int) {
+	for j := range p.jobs[id] {
+		if j.n < 0 { // Run-style: body receives the worker id
+			j.body(id, id)
+			j.done.Done()
+			continue
+		}
+		for {
+			lo := int(j.next.Add(int64(j.grain))) - j.grain
+			if lo >= j.n {
+				break
+			}
+			hi := lo + j.grain
+			if hi > j.n {
+				hi = j.n
+			}
+			j.body(lo, hi)
+		}
+		j.done.Done()
+	}
+}
+
+// Workers reports the worker count.
+func (p *PersistentPool) Workers() int { return p.workers }
+
+// Launches reports how many launches the pool has performed.
+func (p *PersistentPool) Launches() int64 { return p.launches.Load() }
+
+// ResetLaunches clears the launch counter.
+func (p *PersistentPool) ResetLaunches() { p.launches.Store(0) }
+
+// ParallelFor runs body over [0,n) in grain-sized chunks on the resident
+// workers and blocks until complete. Semantics match Pool.ParallelFor.
+func (p *PersistentPool) ParallelFor(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.closed.Load() {
+		panic("exec: ParallelFor on closed PersistentPool")
+	}
+	p.launches.Add(1)
+	if grain <= 0 {
+		grain = n / (p.workers * 8)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	nw := p.workers
+	if chunks < nw {
+		nw = chunks
+	}
+	if nw == 1 {
+		body(0, n)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var next atomic.Int64
+	var done sync.WaitGroup
+	done.Add(nw)
+	j := job{body: body, n: n, grain: grain, next: &next, done: &done}
+	for w := 0; w < nw; w++ {
+		p.jobs[w] <- j
+	}
+	done.Wait()
+}
+
+// Run executes body once per worker (body receives the worker id) and
+// blocks until all return — the persistent-kernel entry point used by the
+// sync-free algorithm.
+func (p *PersistentPool) Run(body func(worker int)) {
+	if p.closed.Load() {
+		panic("exec: Run on closed PersistentPool")
+	}
+	p.launches.Add(1)
+	if p.workers == 1 {
+		body(0)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var done sync.WaitGroup
+	done.Add(p.workers)
+	j := job{body: func(id, _ int) { body(id) }, n: -1, done: &done}
+	for w := 0; w < p.workers; w++ {
+		p.jobs[w] <- j
+	}
+	done.Wait()
+}
+
+// Close stops the resident workers. The pool must not be used afterwards.
+// Close is idempotent.
+func (p *PersistentPool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.jobs {
+		close(c)
+	}
+}

@@ -1,0 +1,221 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// Entry is one corpus matrix: a named, lazily-built, deterministic
+// lower-triangular system standing in for one SuiteSparse matrix.
+type Entry struct {
+	// Name identifies the matrix; Table-4 analogues carry the original
+	// matrix's name with a "-like" suffix.
+	Name string
+	// Group is the structural class (paper §4.1 draws from e.g.
+	// optimisation, circuit simulation, network analysis, PDE problems).
+	Group string
+	// Build constructs the matrix. Deterministic: same Entry, same bits.
+	Build func() *sparse.CSR[float64]
+}
+
+func scaled(n int, scale float64) int {
+	s := int(float64(n) * scale)
+	if s < 16 {
+		s = 16
+	}
+	return s
+}
+
+// Representative6 returns analogues of the six representative matrices of
+// Table 4, ordered as in the paper. The structural features tracked are
+// the ones the paper reports: level count and per-level parallelism.
+//
+//	nlpkkt200         → 2 levels, massive parallelism (optimisation KKT)
+//	mawi_201512020030 → few levels, skewed network graph
+//	kkt_power         → ~17 levels, good parallelism, mild skew
+//	FullChip          → a few hundred levels, power-law rows/columns
+//	vas_stokes_4M     → thousands of levels, limited parallelism, hubs
+//	tmt_sym           → ~n levels, parallelism 1 (near serial)
+func Representative6(scale float64) []Entry {
+	return []Entry{
+		{
+			Name: "nlpkkt-like", Group: "optimization",
+			Build: func() *sparse.CSR[float64] { return BipartiteBlock(scaled(120_000, scale), 12, 1001) },
+		},
+		{
+			Name: "mawi-like", Group: "network",
+			Build: func() *sparse.CSR[float64] {
+				s := 17 + int(math.Round(math.Log2(math.Max(scale, 1.0/64))))
+				return RMAT(s, 2, 1002)
+			},
+		},
+		{
+			Name: "kkt_power-like", Group: "optimization",
+			Build: func() *sparse.CSR[float64] { return Layered(scaled(80_000, scale), 17, 4, 0.25, 1003) },
+		},
+		{
+			Name: "fullchip-like", Group: "circuit",
+			Build: func() *sparse.CSR[float64] { return PowerLaw(scaled(60_000, scale), 4, 0.02, 1004) },
+		},
+		{
+			Name: "vas_stokes-like", Group: "semiconductor",
+			Build: func() *sparse.CSR[float64] {
+				// Levels scale with n so the per-level parallelism stays in
+				// the "limited but present" regime of the original matrix.
+				n := scaled(60_000, scale)
+				return Layered(n, n/30, 20, 0.4, 1005)
+			},
+		},
+		{
+			Name: "tmt_sym-like", Group: "electromagnetics",
+			Build: func() *sparse.CSR[float64] { return SerialChain(scaled(90_000, scale), 0.3, 1006) },
+		},
+	}
+}
+
+// Corpus returns the full synthetic benchmark suite standing in for the
+// paper's 159-matrix dataset: every structural class at several sizes,
+// degrees and seeds, plus the six representative analogues and ILU(0)
+// factors of PDE problems. scale multiplies all matrix dimensions
+// (scale=1 targets a laptop-scale run; the paper's sizes correspond to
+// scale≈10–50).
+func Corpus(scale float64) []Entry {
+	var out []Entry
+	add := func(name, group string, build func() *sparse.CSR[float64]) {
+		out = append(out, Entry{Name: name, Group: group, Build: build})
+	}
+
+	// Diagonal and banded FEM-like factors.
+	add("diag-200k", "synthetic", func() *sparse.CSR[float64] { return DiagonalOnly(scaled(200_000, scale), 2001) })
+	for i, bw := range []int{8, 32, 128, 512} {
+		bw := bw
+		seed := int64(2100 + i)
+		add(fmt.Sprintf("banded-bw%d", bw), "fem", func() *sparse.CSR[float64] {
+			return Banded(scaled(120_000, scale), bw, 0.25, seed)
+		})
+	}
+	add("banded-dense-bw64", "fem", func() *sparse.CSR[float64] {
+		return Banded(scaled(60_000, scale), 64, 0.9, 2150)
+	})
+
+	// Grid Laplacian lower factors (structured PDE), square and elongated.
+	for i, side := range []int{256, 400} {
+		side := int(float64(side) * math.Sqrt(scale))
+		if side < 8 {
+			side = 8
+		}
+		seed := int64(2200 + i)
+		add(fmt.Sprintf("grid5-%dx%d", side, side), "pde", func() *sparse.CSR[float64] {
+			return GridLaplacian5(side, side, seed)
+		})
+	}
+	add("grid5-elongated", "pde", func() *sparse.CSR[float64] {
+		long := int(2000 * math.Sqrt(scale))
+		short := int(50 * math.Sqrt(scale))
+		if long < 32 {
+			long = 32
+		}
+		if short < 4 {
+			short = 4
+		}
+		return GridLaplacian5(long, short, 2250)
+	})
+
+	// Bipartite / KKT optimisation problems: 2 levels, huge parallelism.
+	for i, deg := range []int{6, 16, 32} {
+		deg := deg
+		seed := int64(2300 + i)
+		add(fmt.Sprintf("bipartite-d%d", deg), "optimization", func() *sparse.CSR[float64] {
+			return BipartiteBlock(scaled(150_000, scale), deg, seed)
+		})
+	}
+
+	// Layered systems sweeping the level-count axis.
+	for i, lv := range []int{8, 64, 512, 4096, 16384} {
+		lv := lv
+		seed := int64(2400 + i)
+		add(fmt.Sprintf("layered-L%d", lv), "layered", func() *sparse.CSR[float64] {
+			return Layered(scaled(100_000, scale), lv, 6, 0, seed)
+		})
+	}
+	// Layered with hub skew (long columns).
+	for i, skew := range []float64{0.2, 0.5} {
+		skew := skew
+		seed := int64(2500 + i)
+		add(fmt.Sprintf("layered-skew%.0f%%", skew*100), "layered", func() *sparse.CSR[float64] {
+			return Layered(scaled(80_000, scale), 64, 8, skew, seed)
+		})
+	}
+
+	// Power-law circuit-like systems.
+	for i, hub := range []float64{0, 0.01, 0.05} {
+		hub := hub
+		seed := int64(2600 + i)
+		add(fmt.Sprintf("powerlaw-hub%.0f%%", hub*100), "circuit", func() *sparse.CSR[float64] {
+			return PowerLaw(scaled(80_000, scale), 4, hub, seed)
+		})
+	}
+	add("powerlaw-dense", "circuit", func() *sparse.CSR[float64] {
+		return PowerLaw(scaled(40_000, scale), 12, 0.02, 2650)
+	})
+
+	// RMAT network graphs.
+	for i, ef := range []int{2, 8} {
+		ef := ef
+		s := 16 + int(math.Round(math.Log2(math.Max(scale, 1.0/64))))
+		seed := int64(2700 + i)
+		add(fmt.Sprintf("rmat-ef%d", ef), "network", func() *sparse.CSR[float64] {
+			return RMAT(s, ef, seed)
+		})
+	}
+
+	// Near-serial chains.
+	for i, extra := range []float64{0, 0.5, 1.0} {
+		extra := extra
+		seed := int64(2800 + i)
+		add(fmt.Sprintf("chain-extra%.0f%%", extra*100), "serial", func() *sparse.CSR[float64] {
+			return SerialChain(scaled(60_000, scale), extra, seed)
+		})
+	}
+
+	// ILU(0) factors of the SPD grid Laplacian: the realistic
+	// preconditioner workload of the paper's iterative scenario.
+	add("ilu0-grid-L", "ilu", func() *sparse.CSR[float64] {
+		side := int(250 * math.Sqrt(scale))
+		if side < 8 {
+			side = 8
+		}
+		l, _, err := ILU0(SPDGridMatrix(side, side))
+		if err != nil {
+			panic(err) // the Laplacian cannot break down
+		}
+		return l
+	})
+	// The U factor solved as a lower system via the mirror identity
+	// (J·U·J), the workload of the back-substitution half of ILU.
+	add("ilu0-grid-U-mirror", "ilu", func() *sparse.CSR[float64] {
+		side := int(250 * math.Sqrt(scale))
+		if side < 8 {
+			side = 8
+		}
+		_, u, err := ILU0(SPDGridMatrix(side, side))
+		if err != nil {
+			panic(err)
+		}
+		n := u.Rows
+		rev := make([]int, n)
+		for i := range rev {
+			rev[i] = n - 1 - i
+		}
+		m, err := sparse.PermuteSym(u, rev)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	})
+
+	out = append(out, Representative6(scale)...)
+	return out
+}

@@ -1,0 +1,367 @@
+// Package gen produces the synthetic sparse matrices that substitute for
+// the paper's SuiteSparse corpus (159 matrices, §4.1). Every generator is
+// deterministic in its seed and emits a solvable lower-triangular CSR
+// matrix (full nonzero diagonal) unless documented otherwise.
+//
+// The generators are parameterised by the structural features that drive
+// SpTRSV performance — number of level sets, per-level parallelism,
+// row-length distribution (power law vs uniform), and empty-row ratio — so
+// the corpus spans the same behaviour space as the paper's dataset,
+// including analogues of the six representative matrices of Table 4.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// lowerBuilder accumulates strictly-lower pattern entries per row and then
+// assembles a solvable lower-triangular CSR matrix with generated values:
+// strictly-lower entries are small and scaled down by the row's dependency
+// count, the diagonal sits in [2,3), keeping the triangular solve
+// well conditioned at any size.
+type lowerBuilder struct {
+	n    int
+	deps [][]int32
+	rng  *rand.Rand
+}
+
+func newLowerBuilder(n int, rng *rand.Rand) *lowerBuilder {
+	return &lowerBuilder{n: n, deps: make([][]int32, n), rng: rng}
+}
+
+// addDep records the strictly-lower entry (i, j); duplicates are merged at
+// assembly. It ignores out-of-range or non-lower coordinates so generators
+// can be sloppy at boundaries.
+func (lb *lowerBuilder) addDep(i, j int) {
+	if j < 0 || i >= lb.n || j >= i {
+		return
+	}
+	lb.deps[i] = append(lb.deps[i], int32(j))
+}
+
+func (lb *lowerBuilder) build() *sparse.CSR[float64] {
+	rowPtr := make([]int, lb.n+1)
+	nnz := lb.n // diagonal
+	for i := range lb.deps {
+		lb.deps[i] = dedupSorted(lb.deps[i])
+		nnz += len(lb.deps[i])
+	}
+	colIdx := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for i := 0; i < lb.n; i++ {
+		d := lb.deps[i]
+		scale := 1.0 / float64(1+len(d))
+		for _, j := range d {
+			colIdx = append(colIdx, int(j))
+			val = append(val, (lb.rng.Float64()-0.5)*scale)
+		}
+		colIdx = append(colIdx, i)
+		val = append(val, 2+lb.rng.Float64())
+		rowPtr[i+1] = len(val)
+	}
+	return &sparse.CSR[float64]{Rows: lb.n, Cols: lb.n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+func dedupSorted(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	// Insertion sort: dependency lists are short.
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// DiagonalOnly returns a purely diagonal system: one level, perfect
+// parallelism — the completely-parallel case of Algorithm 7.
+func DiagonalOnly(n int, seed int64) *sparse.CSR[float64] {
+	return newLowerBuilder(n, rand.New(rand.NewSource(seed))).build()
+}
+
+// Banded returns a lower-banded system: each row depends on a random
+// subset of the bw preceding components. Models FEM/stencil factors such as
+// af_shell: few levels relative to n, uniform short rows.
+func Banded(n, bw int, density float64, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	lb := newLowerBuilder(n, rng)
+	for i := 1; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			if rng.Float64() < density {
+				lb.addDep(i, j)
+			}
+		}
+	}
+	return lb.build()
+}
+
+// SerialChain returns an almost fully serial system: every component
+// depends on its predecessor (n levels, parallelism 1), plus a sprinkle of
+// extra earlier dependencies. This is the `tmt_sym` analogue — the
+// worst case the paper uses to show block algorithms do not degrade
+// "serial" problems.
+func SerialChain(n int, extra float64, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	lb := newLowerBuilder(n, rng)
+	for i := 1; i < n; i++ {
+		lb.addDep(i, i-1)
+		if extra > 0 && rng.Float64() < extra {
+			lb.addDep(i, rng.Intn(i))
+		}
+	}
+	return lb.build()
+}
+
+// GridLaplacian5 returns the lower triangle of the 5-point Laplacian on an
+// nx×ny grid in natural order: component (r,c) depends on (r-1,c) and
+// (r,c-1). Levels are the grid antidiagonals — nx+ny-1 of them with
+// parallelism up to min(nx,ny) — a structured PDE problem in the middle of
+// the parallelism spectrum.
+func GridLaplacian5(nx, ny int, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	lb := newLowerBuilder(nx*ny, rng)
+	for r := 0; r < ny; r++ {
+		for c := 0; c < nx; c++ {
+			i := r*nx + c
+			if c > 0 {
+				lb.addDep(i, i-1)
+			}
+			if r > 0 {
+				lb.addDep(i, i-nx)
+			}
+		}
+	}
+	return lb.build()
+}
+
+// BipartiteBlock returns a two-level system: the first half is diagonal
+// only, every second-half component depends on deg random first-half
+// components. This is the `nlpkkt200` analogue — two massive levels,
+// enormous parallelism — where blocking wins through cache locality.
+func BipartiteBlock(n, deg int, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	lb := newLowerBuilder(n, rng)
+	half := n / 2
+	for i := half; i < n; i++ {
+		for d := 0; d < deg; d++ {
+			lb.addDep(i, rng.Intn(half))
+		}
+	}
+	return lb.build()
+}
+
+// PowerLaw returns a preferential-attachment system: each component
+// attaches avgDeg dependencies to earlier components chosen proportionally
+// to their current in-degree, so early components accumulate very long
+// columns; additionally a hubFrac fraction of components are "hub rows"
+// with ~32× the normal dependency count. This is the circuit-simulation
+// (`FullChip`) analogue: power-law rows and columns, moderate level count —
+// the load-imbalance case where 2D blocking shines (§2.2).
+func PowerLaw(n, avgDeg int, hubFrac float64, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	lb := newLowerBuilder(n, rng)
+	// endpoints implements preferential attachment by repetition.
+	endpoints := make([]int32, 0, 2*n*avgDeg)
+	endpoints = append(endpoints, 0)
+	for i := 1; i < n; i++ {
+		deg := avgDeg
+		if hubFrac > 0 && rng.Float64() < hubFrac {
+			deg = avgDeg * 32
+		}
+		for d := 0; d < deg; d++ {
+			var j int
+			if rng.Float64() < 0.8 {
+				j = int(endpoints[rng.Intn(len(endpoints))])
+			} else {
+				j = rng.Intn(i)
+			}
+			if j >= i {
+				j = rng.Intn(i)
+			}
+			lb.addDep(i, j)
+			endpoints = append(endpoints, int32(j))
+		}
+		endpoints = append(endpoints, int32(i))
+	}
+	return lb.build()
+}
+
+// RMAT returns the lower triangle of an R-MAT graph with 2^scale vertices
+// and edgeFactor·2^scale edges (a=0.57, b=c=0.19), the standard model for
+// skewed network/traffic graphs. Self-loops collapse into the diagonal.
+// This is the `mawi` (network trace) analogue: extremely skewed degree
+// distribution, few levels, huge but ragged parallelism.
+func RMAT(scale, edgeFactor int, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	lb := newLowerBuilder(n, rng)
+	edges := n * edgeFactor
+	const a, b, c = 0.57, 0.19, 0.19
+	for e := 0; e < edges; e++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit > 0; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: nothing to add
+			case r < a+b:
+				v += bit
+			case r < a+b+c:
+				u += bit
+			default:
+				u += bit
+				v += bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		if u < v {
+			u, v = v, u
+		}
+		lb.addDep(u, v)
+	}
+	return lb.build()
+}
+
+// Layered returns a system with a controlled number of levels: components
+// are assigned to nlevels contiguous layers; each non-root component gets
+// one dependency in the previous layer (keeping levels tight) plus
+// avgDeg-1 extra dependencies in arbitrary earlier layers. With skew > 0 a
+// fraction of extra dependencies is redirected to a small hub set,
+// producing long columns. Sweeping nlevels and avgDeg traces out the
+// Figure-5 feature grid; mid-range settings give the `kkt_power` and
+// `vas_stokes_4M` analogues.
+func Layered(n, nlevels, avgDeg int, skew float64, seed int64) *sparse.CSR[float64] {
+	if nlevels < 1 {
+		nlevels = 1
+	}
+	if nlevels > n {
+		nlevels = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lb := newLowerBuilder(n, rng)
+	// layerStart[l] is the first component of layer l; layers are equal
+	// sized with the remainder spread over the leading layers.
+	layerStart := make([]int, nlevels+1)
+	base, rem := n/nlevels, n%nlevels
+	for l := 0; l < nlevels; l++ {
+		sz := base
+		if l < rem {
+			sz++
+		}
+		layerStart[l+1] = layerStart[l] + sz
+	}
+	hubs := n / 64
+	if hubs < 1 {
+		hubs = 1
+	}
+	for l := 1; l < nlevels; l++ {
+		for i := layerStart[l]; i < layerStart[l+1]; i++ {
+			// Tight dependency in the previous layer.
+			prevLo, prevHi := layerStart[l-1], layerStart[l]
+			lb.addDep(i, prevLo+rng.Intn(prevHi-prevLo))
+			for d := 1; d < avgDeg; d++ {
+				var j int
+				if skew > 0 && rng.Float64() < skew {
+					// Hub deps must stay in strictly earlier layers or the
+					// level count would drift above the target.
+					h := hubs
+					if h > layerStart[l] {
+						h = layerStart[l]
+					}
+					j = rng.Intn(h)
+				} else {
+					j = rng.Intn(layerStart[l])
+				}
+				lb.addDep(i, j)
+			}
+		}
+	}
+	return lb.build()
+}
+
+// EmptyRowsRect returns a rows×cols rectangular matrix (not triangular)
+// where approximately emptyRatio of the rows are empty and non-empty rows
+// hold avgDeg entries. It drives the SpMV kernel-selection sweep
+// (emptyratio axis of Figure 5b).
+func EmptyRowsRect(rows, cols int, emptyRatio float64, avgDeg int, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder[float64](rows, cols)
+	for i := 0; i < rows; i++ {
+		if rng.Float64() < emptyRatio {
+			continue
+		}
+		for d := 0; d < avgDeg; d++ {
+			b.Add(i, rng.Intn(cols), rng.NormFloat64())
+		}
+	}
+	return b.BuildCSR()
+}
+
+// RandomRect returns a rows×cols rectangular matrix with the given fill
+// density and optionally power-law row lengths (hubFrac of rows are 32×
+// longer). Used by SpMV sweeps on the nnz/row axis.
+func RandomRect(rows, cols int, avgDeg int, hubFrac float64, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder[float64](rows, cols)
+	for i := 0; i < rows; i++ {
+		deg := avgDeg
+		if hubFrac > 0 && rng.Float64() < hubFrac {
+			deg = avgDeg * 32
+		}
+		for d := 0; d < deg; d++ {
+			b.Add(i, rng.Intn(cols), rng.NormFloat64())
+		}
+	}
+	return b.BuildCSR()
+}
+
+// DenseLower returns a fully dense lower-triangular matrix, used by the
+// Table 1/2 traffic-count verification where the paper's closed forms
+// assume dense blocks.
+func DenseLower(n int, seed int64) *sparse.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	lb := newLowerBuilder(n, rng)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			lb.addDep(i, j)
+		}
+	}
+	return lb.build()
+}
+
+// RandVec returns a deterministic pseudo-random right-hand side.
+func RandVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// Describe summarises a matrix for logs: size, nnz, nnz/row.
+func Describe(m *sparse.CSR[float64]) string {
+	return fmt.Sprintf("n=%d nnz=%d nnz/row=%.2f", m.Rows, m.NNZ(), m.NNZPerRow())
+}

@@ -1,0 +1,359 @@
+package gen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/sss-lab/blocksptrsv/internal/levelset"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+func mustSolvable(t *testing.T, m *sparse.CSR[float64]) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.CheckLowerSolvable(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagonalOnly(t *testing.T) {
+	m := DiagonalOnly(100, 1)
+	mustSolvable(t, m)
+	if m.NNZ() != 100 {
+		t.Fatalf("nnz=%d want 100", m.NNZ())
+	}
+	if lv := levelset.FromLowerCSR(m); lv.NLevels != 1 {
+		t.Fatalf("levels=%d want 1", lv.NLevels)
+	}
+}
+
+func TestBanded(t *testing.T) {
+	m := Banded(500, 16, 0.5, 2)
+	mustSolvable(t, m)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if i-m.ColIdx[k] > 16 {
+				t.Fatalf("entry (%d,%d) outside band", i, m.ColIdx[k])
+			}
+		}
+	}
+}
+
+func TestSerialChainIsFullySerial(t *testing.T) {
+	m := SerialChain(300, 0.4, 3)
+	mustSolvable(t, m)
+	lv := levelset.FromLowerCSR(m)
+	if lv.NLevels != 300 {
+		t.Fatalf("levels=%d want 300", lv.NLevels)
+	}
+	if st := lv.Stats(); st.MaxWidth != 1 {
+		t.Fatalf("max width=%d want 1", st.MaxWidth)
+	}
+}
+
+func TestGridLaplacian5Levels(t *testing.T) {
+	nx, ny := 13, 9
+	m := GridLaplacian5(nx, ny, 4)
+	mustSolvable(t, m)
+	lv := levelset.FromLowerCSR(m)
+	if lv.NLevels != nx+ny-1 {
+		t.Fatalf("levels=%d want %d", lv.NLevels, nx+ny-1)
+	}
+	if st := lv.Stats(); st.MaxWidth != 9 {
+		t.Fatalf("max width=%d want min(nx,ny)=9", st.MaxWidth)
+	}
+}
+
+func TestBipartiteBlockTwoLevels(t *testing.T) {
+	m := BipartiteBlock(1000, 5, 5)
+	mustSolvable(t, m)
+	lv := levelset.FromLowerCSR(m)
+	if lv.NLevels != 2 {
+		t.Fatalf("levels=%d want 2", lv.NLevels)
+	}
+	if lv.LevelSize(0) != 500 || lv.LevelSize(1) != 500 {
+		t.Fatalf("level sizes %d/%d want 500/500", lv.LevelSize(0), lv.LevelSize(1))
+	}
+}
+
+func TestPowerLawIsSkewed(t *testing.T) {
+	m := PowerLaw(3000, 4, 0.02, 6)
+	mustSolvable(t, m)
+	// Column-length skew: the longest column should dwarf the average.
+	csc := m.ToCSC()
+	maxCol, total := 0, 0
+	for j := 0; j < csc.Cols; j++ {
+		l := csc.ColLen(j)
+		total += l
+		if l > maxCol {
+			maxCol = l
+		}
+	}
+	avg := float64(total) / float64(csc.Cols)
+	if float64(maxCol) < 10*avg {
+		t.Fatalf("not skewed: max col %d vs avg %.1f", maxCol, avg)
+	}
+	// Hub rows: the longest row should dwarf the average row.
+	maxRow := 0
+	for i := 0; i < m.Rows; i++ {
+		if l := m.RowLen(i); l > maxRow {
+			maxRow = l
+		}
+	}
+	if float64(maxRow) < 8*m.NNZPerRow() {
+		t.Fatalf("no hub rows: max row %d vs avg %.1f", maxRow, m.NNZPerRow())
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	m := RMAT(10, 4, 7)
+	mustSolvable(t, m)
+	if m.Rows != 1024 {
+		t.Fatalf("rows=%d want 1024", m.Rows)
+	}
+	lv := levelset.FromLowerCSR(m)
+	if lv.NLevels < 2 || lv.NLevels > 200 {
+		t.Fatalf("rmat levels=%d, expected a few", lv.NLevels)
+	}
+}
+
+func TestLayeredHitsTargetLevels(t *testing.T) {
+	for _, target := range []int{1, 2, 7, 50, 333} {
+		m := Layered(2000, target, 5, 0.2, int64(100+target))
+		mustSolvable(t, m)
+		lv := levelset.FromLowerCSR(m)
+		if lv.NLevels != target {
+			t.Fatalf("target %d: got %d levels", target, lv.NLevels)
+		}
+	}
+	// Clamps: nlevels > n and < 1.
+	if lv := levelset.FromLowerCSR(Layered(10, 99, 2, 0, 1)); lv.NLevels != 10 {
+		t.Fatalf("clamped high: %d", lv.NLevels)
+	}
+	if lv := levelset.FromLowerCSR(Layered(10, 0, 2, 0, 1)); lv.NLevels != 1 {
+		t.Fatalf("clamped low: %d", lv.NLevels)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PowerLaw(500, 4, 0.05, 42)
+	b := PowerLaw(500, 4, 0.05, 42)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed produced different nnz")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] || a.ColIdx[k] != b.ColIdx[k] {
+			t.Fatal("same seed produced different matrix")
+		}
+	}
+	c := PowerLaw(500, 4, 0.05, 43)
+	same := c.NNZ() == a.NNZ()
+	if same {
+		for k := range a.Val {
+			if a.Val[k] != c.Val[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrix")
+	}
+}
+
+func TestEmptyRowsRect(t *testing.T) {
+	m := EmptyRowsRect(4000, 500, 0.7, 3, 8)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r := m.EmptyRowRatio(); math.Abs(r-0.7) > 0.05 {
+		t.Fatalf("empty ratio %.3f want ~0.7", r)
+	}
+}
+
+func TestRandomRect(t *testing.T) {
+	m := RandomRect(1000, 300, 4, 0.05, 9)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	maxRow := 0
+	for i := 0; i < m.Rows; i++ {
+		if l := m.RowLen(i); l > maxRow {
+			maxRow = l
+		}
+	}
+	if float64(maxRow) < 5*m.NNZPerRow() {
+		t.Fatalf("hub rows missing: max %d avg %.1f", maxRow, m.NNZPerRow())
+	}
+}
+
+func TestDenseLower(t *testing.T) {
+	m := DenseLower(20, 10)
+	mustSolvable(t, m)
+	if m.NNZ() != 20*21/2 {
+		t.Fatalf("nnz=%d want %d", m.NNZ(), 20*21/2)
+	}
+}
+
+func TestILU0ExactOnDensePattern(t *testing.T) {
+	// With a full pattern, ILU(0) is exact LU: L·U must reproduce A.
+	a := SPDGridMatrix(3, 3) // small; pattern not dense, so densify
+	dense := a.ToDense()
+	n := a.Rows
+	// Make it structurally dense but keep SPD dominance.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dense[i*n+j] == 0 {
+				dense[i*n+j] = 0.01 * float64(1+(i+j)%3)
+			}
+		}
+	}
+	full := sparse.FromDense(n, n, dense)
+	l, u, err := ILU0(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, ud := l.ToDense(), u.ToDense()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += ld[i*n+k] * ud[k*n+j]
+			}
+			if math.Abs(sum-dense[i*n+j]) > 1e-10 {
+				t.Fatalf("LU(%d,%d)=%g want %g", i, j, sum, dense[i*n+j])
+			}
+		}
+	}
+}
+
+func TestILU0FactorsAreTriangularAndSolvable(t *testing.T) {
+	a := SPDGridMatrix(20, 17)
+	l, u, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSolvable(t, l)
+	if !u.IsUpperTriangular() {
+		t.Fatal("U not upper triangular")
+	}
+	// L must be unit lower.
+	for i := 0; i < l.Rows; i++ {
+		if l.At(i, i) != 1 {
+			t.Fatalf("L[%d][%d]=%g want 1", i, i, l.At(i, i))
+		}
+	}
+	// On the pattern of A, (L·U) must match A exactly (ILU(0) property).
+	n := a.Rows
+	ld, ud := l.ToDense(), u.ToDense()
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			var sum float64
+			for kk := 0; kk < n; kk++ {
+				sum += ld[i*n+kk] * ud[kk*n+j]
+			}
+			if math.Abs(sum-a.Val[k]) > 1e-10 {
+				t.Fatalf("(LU)(%d,%d)=%g want %g", i, j, sum, a.Val[k])
+			}
+		}
+	}
+}
+
+func TestILU0Errors(t *testing.T) {
+	// Non-square.
+	rect := sparse.FromDense(2, 3, []float64{1, 0, 0, 0, 1, 0})
+	if _, _, err := ILU0(rect); err == nil {
+		t.Fatal("accepted non-square")
+	}
+	// Missing diagonal.
+	b := sparse.NewBuilder[float64](2, 2)
+	b.Add(0, 0, 1)
+	b.Add(1, 0, 1)
+	if _, _, err := ILU0(b.BuildCSR()); !errors.Is(err, sparse.ErrSingular) {
+		t.Fatal("accepted missing diagonal")
+	}
+	// Zero pivot: the diagonal entry must be present in the pattern but
+	// hold the value zero (FromDense would drop it, so use the Builder).
+	zb := sparse.NewBuilder[float64](2, 2)
+	zb.Add(0, 0, 0)
+	zb.Add(0, 1, 1)
+	zb.Add(1, 0, 1)
+	zb.Add(1, 1, 1)
+	if _, _, err := ILU0(zb.BuildCSR()); !errors.Is(err, ErrZeroPivot) {
+		t.Fatalf("zero pivot: got %v", err)
+	}
+}
+
+func TestSPDGridMatrix(t *testing.T) {
+	a := SPDGridMatrix(5, 4)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		if d[i*n+i] != 4 {
+			t.Fatalf("diag %d = %g", i, d[i*n+i])
+		}
+		for j := 0; j < n; j++ {
+			if d[i*n+j] != d[j*n+i] {
+				t.Fatalf("not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCorpusEntriesBuildAndSolvable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build is slow in -short mode")
+	}
+	seen := map[string]bool{}
+	for _, e := range Corpus(0.02) {
+		if seen[e.Name] {
+			t.Fatalf("duplicate corpus name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Group == "" {
+			t.Fatalf("%s: empty group", e.Name)
+		}
+		m := e.Build()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if err := sparse.CheckLowerSolvable(m); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+	}
+	if len(seen) < 20 {
+		t.Fatalf("corpus too small: %d entries", len(seen))
+	}
+}
+
+func TestRepresentative6Features(t *testing.T) {
+	if testing.Short() {
+		t.Skip("representative build is slow in -short mode")
+	}
+	entries := Representative6(0.05)
+	if len(entries) != 6 {
+		t.Fatalf("want 6 entries, got %d", len(entries))
+	}
+	lv := func(i int) *levelset.Info {
+		return levelset.FromLowerCSR(entries[i].Build())
+	}
+	if got := lv(0).NLevels; got != 2 {
+		t.Errorf("nlpkkt-like levels=%d want 2", got)
+	}
+	if got := lv(2).NLevels; got != 17 {
+		t.Errorf("kkt_power-like levels=%d want 17", got)
+	}
+	if got := lv(5); got.NLevels != got.N {
+		t.Errorf("tmt_sym-like levels=%d want n=%d", got.NLevels, got.N)
+	}
+	if got := lv(4); got.NLevels != got.N/30 {
+		t.Errorf("vas_stokes-like levels=%d want n/30=%d", got.NLevels, got.N/30)
+	}
+}

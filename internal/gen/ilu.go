@@ -1,0 +1,126 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// ErrZeroPivot reports an ILU(0) breakdown.
+var ErrZeroPivot = errors.New("gen: zero pivot in ILU(0)")
+
+// ILU0 computes the incomplete LU factorisation with zero fill-in of a
+// square CSR matrix whose pattern includes the full diagonal. It returns a
+// unit-lower-triangular L (unit diagonal stored explicitly) and an upper
+// triangular U, both on sub-patterns of A, with A ≈ L·U. The triangular
+// factors are the realistic SpTRSV workloads of the paper's motivating
+// scenario — preconditioned iterative solvers (§1).
+func ILU0(a *sparse.CSR[float64]) (l, u *sparse.CSR[float64], err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("%w: %dx%d not square", sparse.ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	val := append([]float64(nil), a.Val...)
+	// diagAt[i] is the index of A[i][i] in the value array.
+	diagAt := make([]int, n)
+	for i := 0; i < n; i++ {
+		diagAt[i] = -1
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				diagAt[i] = k
+				break
+			}
+		}
+		if diagAt[i] < 0 {
+			return nil, nil, fmt.Errorf("%w: row %d has no diagonal entry", sparse.ErrSingular, i)
+		}
+	}
+	// pos scatters the current row's columns to value indices.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			pos[a.ColIdx[k]] = k
+		}
+		for k := lo; k < hi; k++ {
+			kk := a.ColIdx[k]
+			if kk >= i {
+				break
+			}
+			piv := val[diagAt[kk]]
+			if piv == 0 {
+				return nil, nil, fmt.Errorf("%w: column %d", ErrZeroPivot, kk)
+			}
+			lik := val[k] / piv
+			val[k] = lik
+			for kj := diagAt[kk] + 1; kj < a.RowPtr[kk+1]; kj++ {
+				j := a.ColIdx[kj]
+				if p := pos[j]; p >= 0 {
+					val[p] -= lik * val[kj]
+				}
+			}
+		}
+		for k := lo; k < hi; k++ {
+			pos[a.ColIdx[k]] = -1
+		}
+		if val[diagAt[i]] == 0 {
+			return nil, nil, fmt.Errorf("%w: row %d", ErrZeroPivot, i)
+		}
+	}
+	// Split the factored values into L (strictly lower + unit diagonal)
+	// and U (diagonal and above).
+	lPtr := make([]int, n+1)
+	uPtr := make([]int, n+1)
+	var lIdx, uIdx []int
+	var lVal, uVal []float64
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j < i {
+				lIdx = append(lIdx, j)
+				lVal = append(lVal, val[k])
+			} else {
+				uIdx = append(uIdx, j)
+				uVal = append(uVal, val[k])
+			}
+		}
+		lIdx = append(lIdx, i)
+		lVal = append(lVal, 1)
+		lPtr[i+1] = len(lVal)
+		uPtr[i+1] = len(uVal)
+	}
+	l = &sparse.CSR[float64]{Rows: n, Cols: n, RowPtr: lPtr, ColIdx: lIdx, Val: lVal}
+	u = &sparse.CSR[float64]{Rows: n, Cols: n, RowPtr: uPtr, ColIdx: uIdx, Val: uVal}
+	return l, u, nil
+}
+
+// SPDGridMatrix returns the full (symmetric positive definite) 5-point
+// Laplacian on an nx×ny grid: diagonal 4, neighbours -1. It is the model
+// problem for the preconditioned-CG example.
+func SPDGridMatrix(nx, ny int) *sparse.CSR[float64] {
+	n := nx * ny
+	b := sparse.NewBuilder[float64](n, n)
+	for r := 0; r < ny; r++ {
+		for c := 0; c < nx; c++ {
+			i := r*nx + c
+			b.Add(i, i, 4)
+			if c > 0 {
+				b.Add(i, i-1, -1)
+			}
+			if c < nx-1 {
+				b.Add(i, i+1, -1)
+			}
+			if r > 0 {
+				b.Add(i, i-nx, -1)
+			}
+			if r < ny-1 {
+				b.Add(i, i+nx, -1)
+			}
+		}
+	}
+	return b.BuildCSR()
+}

@@ -1,0 +1,328 @@
+package kernels
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/levelset"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// Batched (multiple right-hand side) kernel variants. SpTRSV with many
+// right-hand sides is the dominant cost of the solve phase of sparse
+// direct solvers (§1 of the paper); the follow-up work by Liu et al.
+// ("Fast Synchronization-Free Algorithms for Parallel Sparse Triangular
+// Solves with Multiple Right-Hand Sides") processes all right-hand sides
+// of a component together so the sparsity machinery (dependency tracking,
+// level schedule, row traversal) is paid once per component instead of
+// once per solve.
+//
+// Layout: right-hand-side blocks are dense row-major n×k slices — the k
+// values of component i occupy W[i*k : (i+1)*k]. Per-component work is
+// then contiguous and the inner k-loops vectorise naturally.
+
+// TriSerialSolveBatch is TriSerialSolve over an n×k right-hand-side block.
+func TriSerialSolveBatch[T sparse.Float](strict *sparse.CSC[T], diag []T, w, x []T, k int) {
+	n := len(diag)
+	for j := 0; j < n; j++ {
+		inv := 1 / diag[j]
+		xj := x[j*k : (j+1)*k]
+		wj := w[j*k : (j+1)*k]
+		for r := 0; r < k; r++ {
+			xj[r] = wj[r] * inv
+		}
+		for p := strict.ColPtr[j]; p < strict.ColPtr[j+1]; p++ {
+			v := strict.Val[p]
+			wr := w[strict.RowIdx[p]*k:]
+			for r := 0; r < k; r++ {
+				wr[r] -= v * xj[r]
+			}
+		}
+	}
+}
+
+// TriDiagOnlySolveBatch is the completely-parallel kernel over an n×k
+// right-hand-side block.
+func TriDiagOnlySolveBatch[T sparse.Float](p exec.Launcher, diag []T, w, x []T, k int) {
+	p.ParallelFor(len(diag), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			inv := 1 / diag[i]
+			for r := i * k; r < (i+1)*k; r++ {
+				x[r] = w[r] * inv
+			}
+		}
+	})
+}
+
+// TriLevelSetSolveBatch runs the level-set kernel over an n×k block:
+// one launch per level, scatter updates with per-element atomic adds.
+func TriLevelSetSolveBatch[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], diag []T, info *levelset.Info, w, x []T, k int) {
+	for l := 0; l < info.NLevels; l++ {
+		lo, hi := info.LevelPtr[l], info.LevelPtr[l+1]
+		items := info.LevelItem[lo:hi]
+		p.ParallelFor(len(items), 0, func(a, b int) {
+			for t := a; t < b; t++ {
+				j := items[t]
+				inv := 1 / diag[j]
+				xj := x[j*k : (j+1)*k]
+				wj := w[j*k : (j+1)*k]
+				for r := 0; r < k; r++ {
+					xj[r] = wj[r] * inv
+				}
+				for kk := strict.ColPtr[j]; kk < strict.ColPtr[j+1]; kk++ {
+					v := strict.Val[kk]
+					row := strict.RowIdx[kk]
+					for r := 0; r < k; r++ {
+						exec.AtomicAddFloat(&w[row*k+r], -v*xj[r])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TriSyncFreeSolveBatch runs the sync-free kernel over an n×k block. The
+// in-degree of a component is decremented once per dependency after all k
+// of its updates have been published, preserving the release/acquire
+// pairing of the single-vector kernel.
+func TriSyncFreeSolveBatch[T sparse.Float](p exec.Launcher, state *SyncFreeState, strict *sparse.CSC[T], diag []T, w, x []T, k int) {
+	n := len(diag)
+	if n == 0 {
+		return
+	}
+	state.reset()
+	var next atomic.Int64
+	p.Run(func(worker int) {
+		for {
+			j := int(next.Add(1)) - 1
+			if j >= n {
+				return
+			}
+			exec.SpinUntilZero(&state.indeg[j])
+			inv := 1 / diag[j]
+			xj := x[j*k : (j+1)*k]
+			wj := w[j*k : (j+1)*k]
+			for r := 0; r < k; r++ {
+				xj[r] = wj[r] * inv
+			}
+			for kk := strict.ColPtr[j]; kk < strict.ColPtr[j+1]; kk++ {
+				v := strict.Val[kk]
+				row := strict.RowIdx[kk]
+				for r := 0; r < k; r++ {
+					exec.AtomicAddFloat(&w[row*k+r], -v*xj[r])
+				}
+				state.indeg[row].Add(-1)
+			}
+		}
+	})
+}
+
+// TriCuSparseLikeSolveBatch runs the merged level-set kernel over an n×k
+// block in gather form (no atomics).
+func TriCuSparseLikeSolveBatch[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T, k int) {
+	row := func(i int, sum []T) {
+		wi := w[i*k : (i+1)*k]
+		copy(sum, wi)
+		for kk := strictCSR.RowPtr[i]; kk < strictCSR.RowPtr[i+1]; kk++ {
+			v := strictCSR.Val[kk]
+			xc := x[strictCSR.ColIdx[kk]*k:]
+			for r := 0; r < k; r++ {
+				sum[r] -= v * xc[r]
+			}
+		}
+		inv := 1 / diag[i]
+		xi := x[i*k : (i+1)*k]
+		for r := 0; r < k; r++ {
+			xi[r] = sum[r] * inv
+		}
+	}
+	for c := 0; c < len(sched.serial); c++ {
+		lo, hi := sched.chunkPtr[c], sched.chunkPtr[c+1]
+		if sched.serial[c] {
+			p.ParallelFor(1, 1, func(_, _ int) {
+				sum := make([]T, k)
+				for t := lo; t < hi; t++ {
+					row(sched.items[t], sum)
+				}
+			})
+			continue
+		}
+		items := sched.items[lo:hi]
+		p.ParallelFor(len(items), 0, func(a, b int) {
+			sum := make([]T, k)
+			for t := a; t < b; t++ {
+				row(items[t], sum)
+			}
+		})
+	}
+}
+
+// SpMVScalarCSRSubBatch computes W -= A·X over n×k blocks, one worker
+// item per row.
+func SpMVScalarCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T, k int) {
+	p.ParallelFor(a.Rows, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rlo, rhi := a.RowPtr[i], a.RowPtr[i+1]
+			if rlo == rhi {
+				continue
+			}
+			wi := w[i*k : (i+1)*k]
+			for kk := rlo; kk < rhi; kk++ {
+				v := a.Val[kk]
+				xc := x[a.ColIdx[kk]*k:]
+				for r := 0; r < k; r++ {
+					wi[r] -= v * xc[r]
+				}
+			}
+		}
+	})
+}
+
+// SpMVVectorCSRSubBatch computes W -= A·X with nnz-balanced chunks;
+// boundary rows combine with per-element atomic adds.
+func SpMVVectorCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T, k int) {
+	nnz := a.NNZ()
+	if nnz == 0 {
+		return
+	}
+	grain := nnz / (p.Workers() * 8)
+	if grain < 1 {
+		grain = 1
+	}
+	p.ParallelFor(nnz, grain, func(lo, hi int) {
+		sum := make([]T, k)
+		i := sort.SearchInts(a.RowPtr, lo+1) - 1
+		for i < a.Rows && a.RowPtr[i] < hi {
+			klo, khi := a.RowPtr[i], a.RowPtr[i+1]
+			cut := klo < lo || khi > hi
+			if klo < lo {
+				klo = lo
+			}
+			if khi > hi {
+				khi = hi
+			}
+			for r := range sum {
+				sum[r] = 0
+			}
+			for kk := klo; kk < khi; kk++ {
+				v := a.Val[kk]
+				xc := x[a.ColIdx[kk]*k:]
+				for r := 0; r < k; r++ {
+					sum[r] += v * xc[r]
+				}
+			}
+			wi := w[i*k : (i+1)*k]
+			if cut {
+				for r := 0; r < k; r++ {
+					if sum[r] != 0 {
+						exec.AtomicAddFloat(&wi[r], -sum[r])
+					}
+				}
+			} else {
+				for r := 0; r < k; r++ {
+					wi[r] -= sum[r]
+				}
+			}
+			i++
+		}
+	})
+}
+
+// SpMVScalarDCSRSubBatch is SpMVScalarCSRSubBatch over stored rows only.
+func SpMVScalarDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T, k int) {
+	p.ParallelFor(a.StoredRows(), 0, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			wi := w[a.RowIdx[s]*k:]
+			for kk := a.RowPtr[s]; kk < a.RowPtr[s+1]; kk++ {
+				v := a.Val[kk]
+				xc := x[a.ColIdx[kk]*k:]
+				for r := 0; r < k; r++ {
+					wi[r] -= v * xc[r]
+				}
+			}
+		}
+	})
+}
+
+// SpMVVectorDCSRSubBatch is SpMVVectorCSRSubBatch over stored rows only.
+func SpMVVectorDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T, k int) {
+	nnz := a.NNZ()
+	if nnz == 0 {
+		return
+	}
+	grain := nnz / (p.Workers() * 8)
+	if grain < 1 {
+		grain = 1
+	}
+	p.ParallelFor(nnz, grain, func(lo, hi int) {
+		sum := make([]T, k)
+		s := sort.SearchInts(a.RowPtr, lo+1) - 1
+		for s < a.StoredRows() && a.RowPtr[s] < hi {
+			klo, khi := a.RowPtr[s], a.RowPtr[s+1]
+			cut := klo < lo || khi > hi
+			if klo < lo {
+				klo = lo
+			}
+			if khi > hi {
+				khi = hi
+			}
+			for r := range sum {
+				sum[r] = 0
+			}
+			for kk := klo; kk < khi; kk++ {
+				v := a.Val[kk]
+				xc := x[a.ColIdx[kk]*k:]
+				for r := 0; r < k; r++ {
+					sum[r] += v * xc[r]
+				}
+			}
+			wi := w[a.RowIdx[s]*k:]
+			if cut {
+				for r := 0; r < k; r++ {
+					if sum[r] != 0 {
+						exec.AtomicAddFloat(&wi[r], -sum[r])
+					}
+				}
+			} else {
+				for r := 0; r < k; r++ {
+					wi[r] -= sum[r]
+				}
+			}
+			s++
+		}
+	})
+}
+
+// SpMVSerialSubBatch is the serial reference for the batched SpMV update.
+func SpMVSerialSubBatch[T sparse.Float](a *sparse.CSR[T], x, w []T, k int) {
+	for i := 0; i < a.Rows; i++ {
+		wi := w[i*k : (i+1)*k]
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			v := a.Val[kk]
+			xc := x[a.ColIdx[kk]*k:]
+			for r := 0; r < k; r++ {
+				wi[r] -= v * xc[r]
+			}
+		}
+	}
+}
+
+// RunSpMVBatch dispatches the batched block update W -= A·X to the named
+// kernel (the batch counterpart of RunSpMV).
+func RunSpMVBatch[T sparse.Float](p exec.Launcher, kn SpMVKernel, csr *sparse.CSR[T], dcsr *sparse.DCSR[T], x, w []T, k int) {
+	switch kn {
+	case SpMVScalarCSR:
+		SpMVScalarCSRSubBatch(p, csr, x, w, k)
+	case SpMVVectorCSR:
+		SpMVVectorCSRSubBatch(p, csr, x, w, k)
+	case SpMVScalarDCSR:
+		SpMVScalarDCSRSubBatch(p, dcsr, x, w, k)
+	case SpMVVectorDCSR:
+		SpMVVectorDCSRSubBatch(p, dcsr, x, w, k)
+	case SpMVSerial:
+		SpMVSerialSubBatch(csr, x, w, k)
+	default:
+		panic("kernels: RunSpMVBatch got unresolved kernel")
+	}
+}

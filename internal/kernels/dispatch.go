@@ -1,0 +1,29 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// RunSpMV dispatches the block update w -= A·x to the named kernel. The
+// caller supplies both the CSR and (possibly nil) DCSR representations;
+// only the one the kernel needs is touched. SpMVSerial falls back to the
+// serial loop.
+func RunSpMV[T sparse.Float](p exec.Launcher, k SpMVKernel, csr *sparse.CSR[T], dcsr *sparse.DCSR[T], x, w []T) {
+	switch k {
+	case SpMVScalarCSR:
+		SpMVScalarCSRSub(p, csr, x, w)
+	case SpMVVectorCSR:
+		SpMVVectorCSRSub(p, csr, x, w)
+	case SpMVScalarDCSR:
+		SpMVScalarDCSRSub(p, dcsr, x, w)
+	case SpMVVectorDCSR:
+		SpMVVectorDCSRSub(p, dcsr, x, w)
+	case SpMVSerial:
+		SpMVSerialSub(csr, x, w)
+	default:
+		panic(fmt.Sprintf("kernels: RunSpMV got unresolved kernel %v", k))
+	}
+}

@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+)
+
+func TestJacobiExactAfterNLevelsSweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	for _, workers := range []int{1, 4} {
+		p := exec.NewPool(workers)
+		for trial := 0; trial < 8; trial++ {
+			n := 1 + rng.Intn(150)
+			l := randLower(rng, n, 0.12)
+			b := randVec(rng, n)
+			want := make([]float64, n)
+			ref, err := NewSerialSolver(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Solve(b, want)
+
+			s, err := NewJacobiSolver(p, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, n)
+			s.Solve(b, x)
+			for i := range x {
+				if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("workers=%d n=%d x[%d]=%g want %g (sweeps=%d)", workers, n, i, x[i], want[i], s.LastSweeps)
+				}
+			}
+			// Exact mode must not exceed the level count.
+			if s.LastSweeps > s.MaxSweeps {
+				t.Fatalf("sweeps %d > max %d", s.LastSweeps, s.MaxSweeps)
+			}
+		}
+	}
+}
+
+func TestJacobiEarlyExitWithTolerance(t *testing.T) {
+	p := exec.NewPool(2)
+	// Strongly diagonally dominant system: Jacobi contracts fast, so a
+	// loose tolerance must stop well before nlevels sweeps.
+	l := chainLower(4000) // 4000 levels
+	s, err := NewJacobiSolver(p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tol = 1e-12
+	b := make([]float64, 4000)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, 4000)
+	s.Solve(b, x)
+	if s.LastSweeps >= 4000 {
+		t.Fatalf("no early exit: %d sweeps", s.LastSweeps)
+	}
+	if r := residual(l, x, b); r > 1e-9 {
+		t.Fatalf("residual %g after %d sweeps", r, s.LastSweeps)
+	}
+}
+
+func TestJacobiApproximateMode(t *testing.T) {
+	p := exec.NewPool(2)
+	rng := rand.New(rand.NewSource(221))
+	l := randLower(rng, 500, 0.05)
+	s, err := NewJacobiSolver(p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MaxSweeps = 2 // preconditioner-grade
+	b := randVec(rng, 500)
+	x := make([]float64, 500)
+	s.Solve(b, x)
+	if s.LastSweeps != 2 {
+		t.Fatalf("sweeps=%d want 2", s.LastSweeps)
+	}
+	// Not exact, but bounded and finite.
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("approximate solve produced non-finite values")
+		}
+	}
+}
+
+func TestJacobiRejectsBadInput(t *testing.T) {
+	p := exec.NewPool(1)
+	bad := chainLower(4)
+	bad.Val[bad.RowPtr[3]-1] = 0 // break a diagonal... (last entry of row 2)
+	if _, err := NewJacobiSolver(p, bad); err == nil {
+		t.Fatal("accepted singular matrix")
+	}
+}
+
+func TestJacobiEmptySystem(t *testing.T) {
+	p := exec.NewPool(1)
+	l := chainLower(0)
+	s, err := NewJacobiSolver(p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Solve(nil, nil)
+	if s.LastSweeps != 0 || s.Rows() != 0 || s.Name() == "" {
+		t.Fatal("empty system metadata")
+	}
+}
+
+func TestAtomicMaxFloat(t *testing.T) {
+	p := exec.NewPool(6)
+	var m float64
+	p.ParallelFor(10000, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			exec.AtomicMaxFloat(&m, float64(i%997))
+		}
+	})
+	if m != 996 {
+		t.Fatalf("max=%g", m)
+	}
+	var f float32
+	exec.AtomicMaxFloat(&f, 3)
+	exec.AtomicMaxFloat(&f, 2)
+	if f != 3 {
+		t.Fatalf("float32 max=%g", f)
+	}
+}

@@ -1,0 +1,188 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sss-lab/blocksptrsv/internal/gen"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+func TestSparseRHSMatchesDenseSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(240))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(300)
+		l := randLower(rng, n, 0.05)
+		s, err := NewSparseRHSSolver(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewSerialSolver(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A handful of nonzeros, possibly duplicated.
+		nnzB := 1 + rng.Intn(5)
+		bIdx := make([]int, nnzB)
+		bVal := make([]float64, nnzB)
+		bDense := make([]float64, n)
+		for i := range bIdx {
+			bIdx[i] = rng.Intn(n)
+			bVal[i] = rng.NormFloat64()
+			bDense[bIdx[i]] += bVal[i]
+		}
+		want := make([]float64, n)
+		ref.Solve(bDense, want)
+
+		xIdx, xVal := s.Solve(bIdx, bVal)
+		got := make([]float64, n)
+		prev := -1
+		for t2, i := range xIdx {
+			if i <= prev {
+				t.Fatal("reach indices not strictly ascending")
+			}
+			prev = i
+			got[i] = xVal[t2]
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d x[%d]=%g want %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSparseRHSReachIsMinimalAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		n := 20 + lr.Intn(100)
+		l := randLower(lr, n, 0.08)
+		s, err := NewSparseRHSSolver(l)
+		if err != nil {
+			return false
+		}
+		seedIdx := lr.Intn(n)
+		reach := s.Reach([]int{seedIdx})
+		inReach := make([]bool, n)
+		for _, i := range reach {
+			inReach[i] = true
+		}
+		if !inReach[seedIdx] {
+			return false
+		}
+		// Completeness: any row with a strictly-lower entry on a reached
+		// column must itself be reached.
+		for i := 0; i < n; i++ {
+			for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+				j := l.ColIdx[k]
+				if j != i && inReach[j] && !inReach[i] {
+					return false
+				}
+			}
+		}
+		// Minimality: every reached component (except the seed) has some
+		// strictly-lower dependency inside the reach.
+		for _, i := range reach {
+			if i == seedIdx {
+				continue
+			}
+			ok := false
+			for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+				if j := l.ColIdx[k]; j != i && inReach[j] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseRHSRepeatedSolvesIndependent(t *testing.T) {
+	l := chainLower(100)
+	s, err := NewSparseRHSSolver(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve with a seed at 50 (reach 50..99), then at 0 (reach 0..99):
+	// residue from the first solve must not leak into the second.
+	idx1, val1 := s.Solve([]int{50}, []float64{1})
+	if len(idx1) != 50 || idx1[0] != 50 {
+		t.Fatalf("reach of 50: %d entries starting %d", len(idx1), idx1[0])
+	}
+	_ = val1
+	idx2, val2 := s.Solve([]int{0}, []float64{2})
+	if len(idx2) != 100 {
+		t.Fatalf("reach of 0: %d entries", len(idx2))
+	}
+	ref, _ := NewSerialSolver(l)
+	bDense := make([]float64, 100)
+	bDense[0] = 2
+	want := make([]float64, 100)
+	ref.Solve(bDense, want)
+	for t2, i := range idx2 {
+		if math.Abs(val2[t2]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("second solve x[%d]=%g want %g", i, val2[t2], want[i])
+		}
+	}
+}
+
+func TestSparseRHSChainReachCost(t *testing.T) {
+	// A diagonal matrix has singleton reaches — the O(reach) property in
+	// its purest form.
+	l := gen.DiagonalOnly(100000, 1)
+	s, err := NewSparseRHSSolver(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xIdx, xVal := s.Solve([]int{12345}, []float64{4})
+	if len(xIdx) != 1 || xIdx[0] != 12345 {
+		t.Fatalf("diag reach: %v", xIdx)
+	}
+	want := 4 / l.Val[l.RowPtr[12345+1]-1]
+	if math.Abs(xVal[0]-want) > 1e-15 {
+		t.Fatalf("xVal=%g want %g", xVal[0], want)
+	}
+}
+
+func TestSparseRHSEdgeCases(t *testing.T) {
+	l := chainLower(10)
+	s, err := NewSparseRHSSolver(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty rhs.
+	xIdx, xVal := s.Solve(nil, nil)
+	if len(xIdx) != 0 || len(xVal) != 0 {
+		t.Fatal("empty rhs produced nonzeros")
+	}
+	// Out-of-range indices are ignored.
+	xIdx, _ = s.Solve([]int{-1, 99}, []float64{1, 1})
+	if len(xIdx) != 0 {
+		t.Fatalf("out-of-range seeds produced reach %v", xIdx)
+	}
+	// Mismatched slices panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Solve([]int{1}, []float64{1, 2})
+	_ = sparse.ErrShape
+}
+
+func TestSparseRHSRejectsBadMatrix(t *testing.T) {
+	bad := sparse.FromDense(2, 2, []float64{1, 1, 1, 1})
+	if _, err := NewSparseRHSSolver(bad); err == nil {
+		t.Fatal("accepted non-triangular matrix")
+	}
+}

@@ -1,0 +1,155 @@
+package kernels
+
+import (
+	"sort"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// SpMVSerialSub computes w -= A·x serially; the reference for the parallel
+// kernels and the fallback for tiny blocks.
+func SpMVSerialSub[T sparse.Float](a *sparse.CSR[T], x, w []T) {
+	for i := 0; i < a.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		if lo == hi {
+			continue
+		}
+		var sum T
+		for k := lo; k < hi; k++ {
+			sum += a.Val[k] * x[a.ColIdx[k]]
+		}
+		w[i] -= sum
+	}
+}
+
+// SpMVScalarCSRSub computes w -= A·x with one worker item per row — the
+// paper's scalar-CSR kernel, best when rows are short and uniform. Each row
+// is owned by exactly one chunk, so no atomics are needed.
+func SpMVScalarCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T) {
+	p.ParallelFor(a.Rows, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum T
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				sum += a.Val[k] * x[a.ColIdx[k]]
+			}
+			if sum != 0 {
+				w[i] -= sum
+			}
+		}
+	})
+}
+
+// SpMVVectorCSRSub computes w -= A·x splitting the nonzeros (not the rows)
+// evenly across workers — the paper's vector-CSR kernel, which keeps
+// power-law matrices load-balanced by letting several workers cooperate on
+// one long row the way a warp does on a GPU. Rows cut by a chunk boundary
+// are combined with atomic adds; interior rows are written directly.
+func SpMVVectorCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T) {
+	nnz := a.NNZ()
+	if nnz == 0 {
+		return
+	}
+	grain := nnz / (p.Workers() * 8)
+	if grain < 1 {
+		grain = 1
+	}
+	p.ParallelFor(nnz, grain, func(lo, hi int) {
+		// First row whose range intersects [lo,hi).
+		i := sort.SearchInts(a.RowPtr, lo+1) - 1
+		for i < a.Rows && a.RowPtr[i] < hi {
+			klo, khi := a.RowPtr[i], a.RowPtr[i+1]
+			cut := klo < lo || khi > hi // row shared with another chunk
+			if klo < lo {
+				klo = lo
+			}
+			if khi > hi {
+				khi = hi
+			}
+			var sum T
+			for k := klo; k < khi; k++ {
+				sum += a.Val[k] * x[a.ColIdx[k]]
+			}
+			if sum != 0 {
+				if cut {
+					exec.AtomicAddFloat(&w[i], -sum)
+				} else {
+					w[i] -= sum
+				}
+			}
+			i++
+		}
+	})
+}
+
+// SpMVScalarDCSRSub is scalar-CSR over a doubly-compressed block: one
+// worker item per stored (non-empty) row, skipping the empty ones entirely.
+// The paper selects it when the empty-row ratio is high.
+func SpMVScalarDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T) {
+	p.ParallelFor(a.StoredRows(), 0, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			var sum T
+			for k := a.RowPtr[s]; k < a.RowPtr[s+1]; k++ {
+				sum += a.Val[k] * x[a.ColIdx[k]]
+			}
+			if sum != 0 {
+				w[a.RowIdx[s]] -= sum
+			}
+		}
+	})
+}
+
+// SpMVVectorDCSRSub is vector-CSR over a doubly-compressed block:
+// nnz-balanced chunks over the stored rows, boundary rows combined
+// atomically.
+func SpMVVectorDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T) {
+	nnz := a.NNZ()
+	if nnz == 0 {
+		return
+	}
+	grain := nnz / (p.Workers() * 8)
+	if grain < 1 {
+		grain = 1
+	}
+	p.ParallelFor(nnz, grain, func(lo, hi int) {
+		s := sort.SearchInts(a.RowPtr, lo+1) - 1
+		for s < a.StoredRows() && a.RowPtr[s] < hi {
+			klo, khi := a.RowPtr[s], a.RowPtr[s+1]
+			cut := klo < lo || khi > hi
+			if klo < lo {
+				klo = lo
+			}
+			if khi > hi {
+				khi = hi
+			}
+			var sum T
+			for k := klo; k < khi; k++ {
+				sum += a.Val[k] * x[a.ColIdx[k]]
+			}
+			if sum != 0 {
+				r := a.RowIdx[s]
+				if cut {
+					exec.AtomicAddFloat(&w[r], -sum)
+				} else {
+					w[r] -= sum
+				}
+			}
+			s++
+		}
+	})
+}
+
+// Multiply computes y = A·x in parallel (scalar-CSR schedule). It is the
+// general-purpose SpMV used by the iterative-solver examples; the block
+// update kernels above use the w -= A·x form instead.
+func Multiply[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, y []T) {
+	p.ParallelFor(a.Rows, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum T
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				sum += a.Val[k] * x[a.ColIdx[k]]
+			}
+			y[i] = sum
+		}
+	})
+}

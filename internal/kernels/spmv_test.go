@@ -1,0 +1,199 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+func randRect(rng *rand.Rand, rows, cols int, density float64) *sparse.CSR[float64] {
+	b := sparse.NewBuilder[float64](rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.BuildCSR()
+}
+
+// powerLawRect builds a matrix where a few rows hold most nonzeros,
+// stressing the vector kernels' load balancing and boundary handling.
+func powerLawRect(rng *rand.Rand, rows, cols int) *sparse.CSR[float64] {
+	b := sparse.NewBuilder[float64](rows, cols)
+	for i := 0; i < rows; i++ {
+		length := 1
+		if rng.Float64() < 0.05 {
+			length = cols / 2
+		}
+		for c := 0; c < length; c++ {
+			b.Add(i, rng.Intn(cols), rng.NormFloat64())
+		}
+	}
+	return b.BuildCSR()
+}
+
+func spmvOracle(a *sparse.CSR[float64], x, w []float64) []float64 {
+	out := append([]float64(nil), w...)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			out[i] -= a.Val[k] * x[a.ColIdx[k]]
+		}
+	}
+	return out
+}
+
+func vecsClose(t *testing.T, name string, got, want []float64, tol float64) {
+	t.Helper()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > tol*(1+math.Abs(want[i])) {
+			t.Fatalf("%s: w[%d]=%g want %g", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpMVKernelsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, workers := range []int{1, 4, 9} {
+		p := exec.NewPool(workers)
+		for trial := 0; trial < 10; trial++ {
+			rows, cols := 1+rng.Intn(150), 1+rng.Intn(150)
+			var a *sparse.CSR[float64]
+			if trial%2 == 0 {
+				a = randRect(rng, rows, cols, 0.08)
+			} else {
+				a = powerLawRect(rng, rows, cols)
+			}
+			x := randVec(rng, cols)
+			w0 := randVec(rng, rows)
+			want := spmvOracle(a, x, w0)
+
+			run := func(name string, fn func(w []float64)) {
+				w := append([]float64(nil), w0...)
+				fn(w)
+				vecsClose(t, name, w, want, 1e-12)
+			}
+			run("serial", func(w []float64) { SpMVSerialSub(a, x, w) })
+			run("scalar-csr", func(w []float64) { SpMVScalarCSRSub(p, a, x, w) })
+			run("vector-csr", func(w []float64) { SpMVVectorCSRSub(p, a, x, w) })
+			d := a.ToDCSR()
+			run("scalar-dcsr", func(w []float64) { SpMVScalarDCSRSub(p, d, x, w) })
+			run("vector-dcsr", func(w []float64) { SpMVVectorDCSRSub(p, d, x, w) })
+		}
+	}
+}
+
+func TestSpMVVectorSingleLongRow(t *testing.T) {
+	// One row owning all nonzeros: every chunk boundary cuts it, so the
+	// atomic combination path is fully exercised.
+	rng := rand.New(rand.NewSource(61))
+	cols := 10000
+	b := sparse.NewBuilder[float64](3, cols)
+	for j := 0; j < cols; j++ {
+		b.Add(1, j, 1)
+	}
+	a := b.BuildCSR()
+	x := randVec(rng, cols)
+	want := 0.0
+	for _, v := range x {
+		want += v
+	}
+	p := exec.NewPool(8)
+	w := make([]float64, 3)
+	SpMVVectorCSRSub(p, a, x, w)
+	if math.Abs(w[1]+want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("w[1]=%g want %g", w[1], -want)
+	}
+	if w[0] != 0 || w[2] != 0 {
+		t.Fatalf("untouched rows modified: %v", w)
+	}
+	wd := make([]float64, 3)
+	SpMVVectorDCSRSub(p, a.ToDCSR(), x, wd)
+	if math.Abs(wd[1]+want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("dcsr w[1]=%g want %g", wd[1], -want)
+	}
+}
+
+func TestSpMVEmptyMatrix(t *testing.T) {
+	p := exec.NewPool(4)
+	a := &sparse.CSR[float64]{Rows: 5, Cols: 5, RowPtr: make([]int, 6)}
+	w := []float64{1, 2, 3, 4, 5}
+	SpMVScalarCSRSub(p, a, make([]float64, 5), w)
+	SpMVVectorCSRSub(p, a, make([]float64, 5), w)
+	d := a.ToDCSR()
+	SpMVScalarDCSRSub(p, d, make([]float64, 5), w)
+	SpMVVectorDCSRSub(p, d, make([]float64, 5), w)
+	for i, v := range w {
+		if v != float64(i+1) {
+			t.Fatalf("w modified by empty SpMV: %v", w)
+		}
+	}
+}
+
+func TestSpMVPropertyQuick(t *testing.T) {
+	p := exec.NewPool(5)
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		rows, cols := 1+lr.Intn(60), 1+lr.Intn(60)
+		a := randRect(lr, rows, cols, 0.2)
+		x := randVec(lr, cols)
+		w0 := randVec(lr, rows)
+		want := spmvOracle(a, x, w0)
+		for _, k := range []SpMVKernel{SpMVScalarCSR, SpMVVectorCSR, SpMVScalarDCSR, SpMVVectorDCSR} {
+			w := append([]float64(nil), w0...)
+			RunSpMV(p, k, a, a.ToDCSR(), x, w)
+			for i := range want {
+				if math.Abs(w[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(62))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	p := exec.NewPool(6)
+	a := randRect(rng, 80, 70, 0.1)
+	x := randVec(rng, 70)
+	y := make([]float64, 80)
+	Multiply(p, a, x, y)
+	want := spmvOracle(a, x, make([]float64, 80))
+	for i := range y {
+		if math.Abs(y[i]+want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("y[%d]=%g want %g", i, y[i], -want[i])
+		}
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	triNames := map[TriKernel]string{
+		TriAuto: "auto", TriCompletelyParallel: "completely-parallel",
+		TriLevelSet: "level-set", TriSyncFree: "sync-free",
+		TriCuSparseLike: "cusparse-like", TriSerial: "serial", TriKernel(99): "unknown",
+	}
+	for k, want := range triNames {
+		if k.String() != want {
+			t.Errorf("TriKernel(%d).String()=%q want %q", k, k.String(), want)
+		}
+	}
+	spmvNames := map[SpMVKernel]string{
+		SpMVAuto: "auto", SpMVScalarCSR: "scalar-csr", SpMVVectorCSR: "vector-csr",
+		SpMVScalarDCSR: "scalar-dcsr", SpMVVectorDCSR: "vector-dcsr",
+		SpMVSerial: "serial", SpMVKernel(99): "unknown",
+	}
+	for k, want := range spmvNames {
+		if k.String() != want {
+			t.Errorf("SpMVKernel(%d).String()=%q want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package kernels implements the SpTRSV and SpMV computational kernels the
+// block algorithms select between (§3.4 of the paper):
+//
+// SpTRSV kernels for triangular (sub-)matrices:
+//   - completely-parallel (diagonal-only blocks),
+//   - level-set (one launch per level, scatter form on CSC),
+//   - sync-free (persistent kernel, busy-wait on in-degrees, CSC),
+//   - cuSPARSE-like (level-set with merged small levels, gather form on
+//     CSR) — the stand-in for NVIDIA's closed-source csrsv2.
+//
+// SpMV kernels for rectangular/square (sub-)matrices, all computing the
+// block update w -= A·x:
+//   - scalar-CSR  (a worker item per row; best for short rows),
+//   - vector-CSR  (nnz-balanced split; best for long/power-law rows),
+//   - scalar-DCSR and vector-DCSR (the same over non-empty rows only).
+//
+// Triangular sub-matrices arrive as a strictly-lower part plus a separate
+// dense diagonal, the storage convention of the improved recursive
+// structure (§3.3). Whole-matrix baselines that include the diagonal in
+// their CSR/CSC storage live in baselines.go.
+package kernels
+
+import (
+	"sync/atomic"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/levelset"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// TriKernel identifies one of the four SpTRSV kernels.
+type TriKernel uint8
+
+const (
+	TriAuto               TriKernel = iota // let the adaptive selector decide
+	TriCompletelyParallel                  // diagonal-only block
+	TriLevelSet                            // level-set, scatter on CSC
+	TriSyncFree                            // sync-free, CSC
+	TriCuSparseLike                        // merged level-set, gather on CSR
+	TriSerial                              // serial reference (not selected adaptively)
+)
+
+func (k TriKernel) String() string {
+	switch k {
+	case TriAuto:
+		return "auto"
+	case TriCompletelyParallel:
+		return "completely-parallel"
+	case TriLevelSet:
+		return "level-set"
+	case TriSyncFree:
+		return "sync-free"
+	case TriCuSparseLike:
+		return "cusparse-like"
+	case TriSerial:
+		return "serial"
+	}
+	return "unknown"
+}
+
+// SpMVKernel identifies one of the four SpMV kernels.
+type SpMVKernel uint8
+
+const (
+	SpMVAuto       SpMVKernel = iota // let the adaptive selector decide
+	SpMVScalarCSR                    // row per item
+	SpMVVectorCSR                    // nnz-balanced
+	SpMVScalarDCSR                   // row per stored row
+	SpMVVectorDCSR                   // nnz-balanced over stored rows
+	SpMVSerial                       // serial reference (not selected adaptively)
+)
+
+func (k SpMVKernel) String() string {
+	switch k {
+	case SpMVAuto:
+		return "auto"
+	case SpMVScalarCSR:
+		return "scalar-csr"
+	case SpMVVectorCSR:
+		return "vector-csr"
+	case SpMVScalarDCSR:
+		return "scalar-dcsr"
+	case SpMVVectorDCSR:
+		return "vector-dcsr"
+	case SpMVSerial:
+		return "serial"
+	}
+	return "unknown"
+}
+
+// TriSerialSolve solves the triangular block serially: x[i] =
+// w[i]/diag[i], scattering -val·x[i] into w for the remaining rows. On
+// return x holds the solution; w is consumed (its tail holds fully-updated
+// partial sums). This is Algorithm 1 restated for the split storage.
+func TriSerialSolve[T sparse.Float](strict *sparse.CSC[T], diag []T, w, x []T) {
+	n := len(diag)
+	for j := 0; j < n; j++ {
+		xj := w[j] / diag[j]
+		x[j] = xj
+		for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
+			w[strict.RowIdx[k]] -= strict.Val[k] * xj
+		}
+	}
+}
+
+// TriDiagOnlySolve handles the completely-parallel case: the block is a
+// pure diagonal, so every component solves independently in one launch.
+func TriDiagOnlySolve[T sparse.Float](p exec.Launcher, diag []T, w, x []T) {
+	p.ParallelFor(len(diag), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = w[i] / diag[i]
+		}
+	})
+}
+
+// TriLevelSetSolve runs the level-set kernel: one launch (and thus one
+// barrier) per level. Components of the current level divide by the
+// diagonal and scatter updates into w with atomic adds; all their targets
+// are in strictly later levels, so reads of w within the level race with
+// nothing.
+func TriLevelSetSolve[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], diag []T, info *levelset.Info, w, x []T) {
+	for l := 0; l < info.NLevels; l++ {
+		lo, hi := info.LevelPtr[l], info.LevelPtr[l+1]
+		items := info.LevelItem[lo:hi]
+		p.ParallelFor(len(items), 0, func(a, b int) {
+			for t := a; t < b; t++ {
+				j := items[t]
+				xj := w[j] / diag[j]
+				x[j] = xj
+				for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
+					exec.AtomicAddFloat(&w[strict.RowIdx[k]], -strict.Val[k]*xj)
+				}
+			}
+		})
+	}
+}
+
+// SyncFreeState holds the reusable scratch of the sync-free kernel: the
+// per-component dependency counters and their initial values. Allocate once
+// per matrix with NewSyncFreeState and reuse across solves.
+type SyncFreeState struct {
+	indeg []atomic.Int32
+	base  []int32
+}
+
+// NewSyncFreeState precomputes in-degrees (the strict row counts) for a
+// strictly-lower CSC block. This is the sync-free algorithm's entire
+// preprocessing (Algorithm 3, lines 1–5).
+func NewSyncFreeState[T sparse.Float](strict *sparse.CSC[T]) *SyncFreeState {
+	n := strict.Cols
+	s := &SyncFreeState{indeg: make([]atomic.Int32, n), base: make([]int32, n)}
+	for _, r := range strict.RowIdx {
+		s.base[r]++
+	}
+	return s
+}
+
+// reset rearms the counters for a fresh solve.
+func (s *SyncFreeState) reset() {
+	for i := range s.base {
+		s.indeg[i].Store(s.base[i])
+	}
+}
+
+// TriSyncFreeSolve runs the sync-free kernel (Algorithm 3): a single
+// persistent launch in which workers claim components in ascending order
+// from an atomic counter, busy-wait until the component's in-degree drops
+// to zero, solve it, and publish updates with atomic float adds followed by
+// in-degree decrements.
+//
+// Claiming components in ascending order makes the busy-wait deadlock-free
+// on any pool size: the smallest unfinished component's dependencies are
+// all finished (they have smaller indices), so some worker always
+// progresses.
+func TriSyncFreeSolve[T sparse.Float](p exec.Launcher, state *SyncFreeState, strict *sparse.CSC[T], diag []T, w, x []T) {
+	n := len(diag)
+	if n == 0 {
+		return
+	}
+	state.reset()
+	var next atomic.Int64
+	p.Run(func(worker int) {
+		for {
+			j := int(next.Add(1)) - 1
+			if j >= n {
+				return
+			}
+			exec.SpinUntilZero(&state.indeg[j])
+			xj := w[j] / diag[j]
+			x[j] = xj
+			for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
+				r := strict.RowIdx[k]
+				exec.AtomicAddFloat(&w[r], -strict.Val[k]*xj)
+				state.indeg[r].Add(-1)
+			}
+		}
+	})
+}
+
+// MergedSchedule is the cuSPARSE-like kernel's analysis result: the level
+// sequence partitioned into launches. Narrow consecutive levels are fused
+// into a single serial chunk executed by one worker (Naumov's optimisation
+// of merging small levels into one kernel to save launches); wide levels
+// get their own parallel launch.
+type MergedSchedule struct {
+	// chunks are [start,end) ranges into the level-order item list; a
+	// serial chunk may span several levels.
+	chunkPtr []int
+	serial   []bool
+	items    []int // level-order copy of the component ids
+}
+
+// NewMergedSchedule builds the schedule. Levels narrower than
+// serialWidth are fused; a non-positive serialWidth defaults to 2× the
+// pool's worker count, below which a parallel launch cannot pay for its
+// barrier.
+func NewMergedSchedule(info *levelset.Info, serialWidth int) *MergedSchedule {
+	if serialWidth <= 0 {
+		serialWidth = 2
+	}
+	s := &MergedSchedule{items: append([]int(nil), info.LevelItem...)}
+	s.chunkPtr = append(s.chunkPtr, 0)
+	l := 0
+	for l < info.NLevels {
+		if info.LevelSize(l) >= serialWidth {
+			s.chunkPtr = append(s.chunkPtr, info.LevelPtr[l+1])
+			s.serial = append(s.serial, false)
+			l++
+			continue
+		}
+		// Fuse a run of narrow levels into one serial chunk.
+		for l < info.NLevels && info.LevelSize(l) < serialWidth {
+			l++
+		}
+		s.chunkPtr = append(s.chunkPtr, info.LevelPtr[l])
+		s.serial = append(s.serial, true)
+	}
+	return s
+}
+
+// Chunks reports the number of launches in the schedule.
+func (s *MergedSchedule) Chunks() int { return len(s.serial) }
+
+// Data exposes the schedule's arrays for serialisation.
+func (s *MergedSchedule) Data() (chunkPtr []int, serial []bool, items []int) {
+	return s.chunkPtr, s.serial, s.items
+}
+
+// NewMergedScheduleFromData rebuilds a schedule from serialised arrays.
+func NewMergedScheduleFromData(chunkPtr []int, serial []bool, items []int) *MergedSchedule {
+	return &MergedSchedule{chunkPtr: chunkPtr, serial: serial, items: items}
+}
+
+// BaseCounts exposes the initial in-degrees for serialisation.
+func (s *SyncFreeState) BaseCounts() []int32 { return s.base }
+
+// NewSyncFreeStateFromCounts rebuilds sync-free state from serialised
+// in-degrees.
+func NewSyncFreeStateFromCounts(base []int32) *SyncFreeState {
+	return &SyncFreeState{indeg: make([]atomic.Int32, len(base)), base: base}
+}
+
+// SerialChunks reports how many launches are fused serial chunks.
+func (s *MergedSchedule) SerialChunks() int {
+	n := 0
+	for _, b := range s.serial {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// TriCuSparseLikeSolve runs the cuSPARSE-like kernel: gather-form row
+// solves on the strictly-lower CSR block, one launch per schedule chunk.
+// Gather form reads finished x entries directly, so no atomics are needed —
+// dependencies are guaranteed by the inter-chunk barriers and by in-order
+// execution inside serial chunks (executing fused levels in level order is
+// dependency-safe because every dependency lives in an earlier level).
+func TriCuSparseLikeSolve[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T) {
+	row := func(i int) {
+		sum := w[i]
+		for k := strictCSR.RowPtr[i]; k < strictCSR.RowPtr[i+1]; k++ {
+			sum -= strictCSR.Val[k] * x[strictCSR.ColIdx[k]]
+		}
+		x[i] = sum / diag[i]
+	}
+	for c := 0; c < len(sched.serial); c++ {
+		lo, hi := sched.chunkPtr[c], sched.chunkPtr[c+1]
+		if sched.serial[c] {
+			// One launch, one worker, rows in level order.
+			p.ParallelFor(1, 1, func(_, _ int) {
+				for t := lo; t < hi; t++ {
+					row(sched.items[t])
+				}
+			})
+			continue
+		}
+		items := sched.items[lo:hi]
+		p.ParallelFor(len(items), 0, func(a, b int) {
+			for t := a; t < b; t++ {
+				row(items[t])
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NewCSR constructs a validated CSR matrix from its raw arrays.
+// The arrays are used directly, not copied.
+func NewCSR[T Float](rows, cols int, rowPtr, colIdx []int, val []T) (*CSR[T], error) {
+	m := &CSR[T]{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewCSC constructs a validated CSC matrix from its raw arrays.
+// The arrays are used directly, not copied.
+func NewCSC[T Float](rows, cols int, colPtr, rowIdx []int, val []T) (*CSC[T], error) {
+	m := &CSC[T]{Rows: rows, Cols: cols, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Builder accumulates coordinate triplets and assembles them into CSR or
+// CSC form. Duplicate coordinates are summed during assembly, mirroring the
+// usual finite-element convention.
+type Builder[T Float] struct {
+	rows, cols int
+	rowIdx     []int
+	colIdx     []int
+	val        []T
+}
+
+// NewBuilder returns a Builder for a rows×cols matrix.
+func NewBuilder[T Float](rows, cols int) *Builder[T] {
+	return &Builder[T]{rows: rows, cols: cols}
+}
+
+// Add appends one triplet. It panics if the coordinate is out of range,
+// because a bad coordinate is a programming error at the call site.
+func (b *Builder[T]) Add(i, j int, v T) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: Builder.Add(%d,%d) out of range %dx%d", i, j, b.rows, b.cols))
+	}
+	b.rowIdx = append(b.rowIdx, i)
+	b.colIdx = append(b.colIdx, j)
+	b.val = append(b.val, v)
+}
+
+// Len reports how many triplets have been added.
+func (b *Builder[T]) Len() int { return len(b.val) }
+
+// COO returns the accumulated triplets as a COO matrix without copying.
+func (b *Builder[T]) COO() *COO[T] {
+	return &COO[T]{Rows: b.rows, Cols: b.cols, RowIdx: b.rowIdx, ColIdx: b.colIdx, Val: b.val}
+}
+
+// BuildCSR assembles the triplets into CSR form, summing duplicates.
+func (b *Builder[T]) BuildCSR() *CSR[T] {
+	return b.COO().ToCSR()
+}
+
+// BuildCSC assembles the triplets into CSC form, summing duplicates.
+func (b *Builder[T]) BuildCSC() *CSC[T] {
+	return b.COO().ToCSC()
+}
+
+// ToCSR converts the COO matrix to CSR using a counting sort over rows and
+// an in-row sort over columns, summing duplicate coordinates.
+func (m *COO[T]) ToCSR() *CSR[T] {
+	counts := make([]int, m.Rows+1)
+	for _, i := range m.RowIdx {
+		counts[i+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	rowPtr := counts // counts is now the row pointer (prefix sums)
+	colIdx := make([]int, len(m.Val))
+	val := make([]T, len(m.Val))
+	next := append([]int(nil), rowPtr...)
+	for k := range m.Val {
+		p := next[m.RowIdx[k]]
+		next[m.RowIdx[k]]++
+		colIdx[p] = m.ColIdx[k]
+		val[p] = m.Val[k]
+	}
+	out := &CSR[T]{Rows: m.Rows, Cols: m.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	out.sortRowsAndCompact()
+	return out
+}
+
+// ToCSC converts the COO matrix to CSC, summing duplicate coordinates.
+func (m *COO[T]) ToCSC() *CSC[T] {
+	return m.ToCSR().ToCSC()
+}
+
+// sortRowsAndCompact sorts every row by column and merges duplicates.
+// It rebuilds the arrays in place (lengths can only shrink).
+func (m *CSR[T]) sortRowsAndCompact() {
+	type pair struct {
+		c int
+		v T
+	}
+	var scratch []pair
+	w := 0 // write cursor into ColIdx/Val
+	newPtr := make([]int, m.Rows+1)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		scratch = scratch[:0]
+		for k := lo; k < hi; k++ {
+			scratch = append(scratch, pair{m.ColIdx[k], m.Val[k]})
+		}
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a].c < scratch[b].c })
+		rowStart := w
+		for _, p := range scratch {
+			if w > rowStart && m.ColIdx[w-1] == p.c {
+				m.Val[w-1] += p.v
+			} else {
+				m.ColIdx[w] = p.c
+				m.Val[w] = p.v
+				w++
+			}
+		}
+		newPtr[i+1] = w
+	}
+	m.RowPtr = newPtr
+	m.ColIdx = m.ColIdx[:w]
+	m.Val = m.Val[:w]
+}
+
+// FromDense builds a CSR matrix from a dense row-major matrix, dropping
+// exact zeros. Intended for tests and small examples.
+func FromDense[T Float](rows, cols int, dense []T) *CSR[T] {
+	if len(dense) != rows*cols {
+		panic(fmt.Sprintf("sparse: FromDense got %d values for %dx%d", len(dense), rows, cols))
+	}
+	b := NewBuilder[T](rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := dense[i*cols+j]; v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.BuildCSR()
+}
+
+// ToDense expands the matrix into a dense row-major slice.
+// Intended for tests and small examples.
+func (m *CSR[T]) ToDense() []T {
+	d := make([]T, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d[i*m.Cols+m.ColIdx[k]] = m.Val[k]
+		}
+	}
+	return d
+}
+
+// ToDense expands the matrix into a dense row-major slice.
+func (m *CSC[T]) ToDense() []T {
+	d := make([]T, m.Rows*m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			d[m.RowIdx[k]*m.Cols+j] = m.Val[k]
+		}
+	}
+	return d
+}
+
+// Identity returns the n×n identity matrix in CSR form.
+func Identity[T Float](n int) *CSR[T] {
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, n)
+	val := make([]T, n)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = i + 1
+		colIdx[i] = i
+		val[i] = 1
+	}
+	return &CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}

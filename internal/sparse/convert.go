@@ -1,0 +1,136 @@
+package sparse
+
+// ToCSC converts the CSR matrix to CSC with a counting-sort transpose.
+// Because rows are scanned in ascending order, row indices within each
+// output column come out ascending without an extra sort.
+func (m *CSR[T]) ToCSC() *CSC[T] {
+	colPtr := make([]int, m.Cols+1)
+	for _, c := range m.ColIdx {
+		colPtr[c+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	rowIdx := make([]int, len(m.Val))
+	val := make([]T, len(m.Val))
+	next := append([]int(nil), colPtr...)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			p := next[c]
+			next[c]++
+			rowIdx[p] = i
+			val[p] = m.Val[k]
+		}
+	}
+	return &CSC[T]{Rows: m.Rows, Cols: m.Cols, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
+}
+
+// ToCSR converts the CSC matrix to CSR with a counting-sort transpose.
+func (m *CSC[T]) ToCSR() *CSR[T] {
+	rowPtr := make([]int, m.Rows+1)
+	for _, r := range m.RowIdx {
+		rowPtr[r+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int, len(m.Val))
+	val := make([]T, len(m.Val))
+	next := append([]int(nil), rowPtr...)
+	for j := 0; j < m.Cols; j++ {
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			r := m.RowIdx[k]
+			p := next[r]
+			next[r]++
+			colIdx[p] = j
+			val[p] = m.Val[k]
+		}
+	}
+	return &CSR[T]{Rows: m.Rows, Cols: m.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// Transpose returns the transpose of the CSR matrix, also in CSR form.
+func (m *CSR[T]) Transpose() *CSR[T] {
+	t := m.ToCSC()
+	return &CSR[T]{Rows: m.Cols, Cols: m.Rows, RowPtr: t.ColPtr, ColIdx: t.RowIdx, Val: t.Val}
+}
+
+// ToDCSR compresses the CSR matrix into DCSR form, dropping empty rows from
+// the row pointer and recording the surviving global row numbers.
+func (m *CSR[T]) ToDCSR() *DCSR[T] {
+	stored := 0
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1] > m.RowPtr[i] {
+			stored++
+		}
+	}
+	d := &DCSR[T]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowIdx: make([]int, 0, stored),
+		RowPtr: make([]int, 1, stored+1),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]T(nil), m.Val...),
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1] > m.RowPtr[i] {
+			d.RowIdx = append(d.RowIdx, i)
+			d.RowPtr = append(d.RowPtr, m.RowPtr[i+1])
+		}
+	}
+	return d
+}
+
+// ToCSR expands the DCSR matrix back into ordinary CSR form, restoring
+// empty rows.
+func (m *DCSR[T]) ToCSR() *CSR[T] {
+	rowPtr := make([]int, m.Rows+1)
+	for k, r := range m.RowIdx {
+		rowPtr[r+1] = m.RowPtr[k+1] - m.RowPtr[k]
+	}
+	for i := 0; i < m.Rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR[T]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: rowPtr,
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]T(nil), m.Val...),
+	}
+}
+
+// ToCOO expands the CSR matrix into coordinate triplets.
+func (m *CSR[T]) ToCOO() *COO[T] {
+	rowIdx := make([]int, len(m.Val))
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			rowIdx[k] = i
+		}
+	}
+	return &COO[T]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowIdx: rowIdx,
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]T(nil), m.Val...),
+	}
+}
+
+// ConvertValues returns a copy of the CSR matrix with its values converted
+// to the destination element type. Used by the precision-ratio experiment
+// (Figure 7) to derive a float32 matrix from a float64 one.
+func ConvertValues[Dst, Src Float](m *CSR[Src]) *CSR[Dst] {
+	val := make([]Dst, len(m.Val))
+	for k, v := range m.Val {
+		val[k] = Dst(v)
+	}
+	return &CSR[Dst]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    val,
+	}
+}

@@ -1,0 +1,48 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket asserts the parser never panics, and that anything
+// it accepts is structurally valid and survives a write/read round trip.
+func FuzzReadMatrixMarket(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 2\n3 1 5\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 2\n2 3\n",
+		"%%MatrixMarket matrix coordinate integer skew-symmetric\n2 2 1\n2 1 3\n",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"%%MatrixMarket matrix coordinate real general\n% comment\n\n1 1 1\n1 1 1e308\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n1 1 2\n2 2 3\n",
+		"garbage",
+		"%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 5 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMatrixMarket[float64](strings.NewReader(in))
+		if err != nil {
+			return // rejecting is always fine; panicking is not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("failed to re-serialise accepted matrix: %v", err)
+		}
+		back, err := ReadMatrixMarket[float64](&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d vs %dx%d/%d",
+				m.Rows, m.Cols, m.NNZ(), back.Rows, back.Cols, back.NNZ())
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package sparse
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment line
+3 3 4
+1 1 2.0
+2 1 -1.5
+3 3 4
+2 2 1e-2
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{
+		2, 0, 0,
+		-1.5, 0.01, 0,
+		0, 0, 4,
+	}
+	densesEqual(t, m.ToDense(), want, 0)
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2
+3 1 5
+3 3 1
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{
+		2, 0, 5,
+		0, 0, 0,
+		5, 0, 1,
+	}
+	densesEqual(t, m.ToDense(), want, 0)
+}
+
+func TestReadMatrixMarketSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{
+		0, -3,
+		3, 0,
+	}
+	densesEqual(t, m.ToDense(), want, 0)
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 2
+2 3
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{
+		0, 1, 0,
+		0, 0, 1,
+	}
+	densesEqual(t, m.ToDense(), want, 0)
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "%%MatrixMarket tensor coordinate real general\n1 1 1\n1 1 1\n"},
+		{"array format", "%%MatrixMarket matrix array real general\n1 1\n1\n"},
+		{"complex field", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"},
+		{"bad symmetry", "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n"},
+		{"missing size", "%%MatrixMarket matrix coordinate real general\n"},
+		{"bad size", "%%MatrixMarket matrix coordinate real general\nfoo bar baz\n"},
+		{"short entry", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"},
+		{"out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5\n"},
+		{"truncated", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 zap\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadMatrixMarket[float64](strings.NewReader(tc.in))
+			if !errors.Is(err, ErrMatrixMarket) {
+				t.Fatalf("got %v want ErrMatrixMarket", err)
+			}
+		})
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		m := randCSR(lr, 1+lr.Intn(12), 1+lr.Intn(12), 0.3)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		back, err := ReadMatrixMarket[float64](&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+			return false
+		}
+		d1, d2 := m.ToDense(), back.ToDense()
+		for k := range d1 {
+			if d1[k] != d2[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketFloat32(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 0.5\n"
+	m, err := ReadMatrixMarket[float32](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 0.5 {
+		t.Fatalf("got %g", m.At(0, 1))
+	}
+}

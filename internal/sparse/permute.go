@@ -1,0 +1,132 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckPerm verifies that perm is a permutation of 0..n-1.
+func CheckPerm(n int, perm []int) error {
+	if len(perm) != n {
+		return fmt.Errorf("%w: permutation length %d want %d", ErrShape, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return fmt.Errorf("%w: not a permutation of 0..%d", ErrShape, n-1)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// InvertPerm returns the inverse permutation: out[perm[i]] = i.
+func InvertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// ComposePerm returns the permutation applying first then second:
+// out[i] = second[first[i]].
+func ComposePerm(first, second []int) []int {
+	out := make([]int, len(first))
+	for i, p := range first {
+		out[i] = second[p]
+	}
+	return out
+}
+
+// PermuteSym applies the symmetric permutation A' = P·A·Pᵀ to a square CSR
+// matrix, where newIdx[old] gives the new position of component old. Entry
+// (i,j) of A lands at (newIdx[i], newIdx[j]) in A'. Symmetric permutation
+// preserves triangularity whenever newIdx is a topological order of the
+// dependency graph — the level-set order used by the improved recursive
+// structure is one such order.
+func PermuteSym[T Float](m *CSR[T], newIdx []int) (*CSR[T], error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: %dx%d not square", ErrShape, m.Rows, m.Cols)
+	}
+	if err := CheckPerm(m.Rows, newIdx); err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	old := InvertPerm(newIdx) // old[i'] = original index of new row i'
+	rowPtr := make([]int, n+1)
+	for ni := 0; ni < n; ni++ {
+		oi := old[ni]
+		rowPtr[ni+1] = rowPtr[ni] + (m.RowPtr[oi+1] - m.RowPtr[oi])
+	}
+	colIdx := make([]int, m.NNZ())
+	val := make([]T, m.NNZ())
+	for ni := 0; ni < n; ni++ {
+		oi := old[ni]
+		w := rowPtr[ni]
+		for k := m.RowPtr[oi]; k < m.RowPtr[oi+1]; k++ {
+			colIdx[w] = newIdx[m.ColIdx[k]]
+			val[w] = m.Val[k]
+			w++
+		}
+		insertionSortRow(colIdx[rowPtr[ni]:rowPtr[ni+1]], val[rowPtr[ni]:rowPtr[ni+1]])
+	}
+	return &CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+// insertionSortRow co-sorts a row's column indices and values. Typical rows
+// are short, where insertion sort wins; long (power-law) rows fall back to
+// the generic sort to stay O(k log k).
+func insertionSortRow[T Float](cols []int, vals []T) {
+	if len(cols) > 32 {
+		sort.Sort(&rowSorter[T]{cols, vals})
+		return
+	}
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1] = cols[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		cols[j+1] = c
+		vals[j+1] = v
+	}
+}
+
+type rowSorter[T Float] struct {
+	cols []int
+	vals []T
+}
+
+func (s *rowSorter[T]) Len() int           { return len(s.cols) }
+func (s *rowSorter[T]) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *rowSorter[T]) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// PermuteVec gathers src into a new vector under newIdx: out[newIdx[i]] =
+// src[i]. This is how the right-hand side b follows the matrix permutation.
+func PermuteVec[T Float](src []T, newIdx []int) []T {
+	out := make([]T, len(src))
+	for i, p := range newIdx {
+		out[p] = src[i]
+	}
+	return out
+}
+
+// PermuteVecInto is PermuteVec writing into dst, avoiding an allocation.
+func PermuteVecInto[T Float](dst, src []T, newIdx []int) {
+	for i, p := range newIdx {
+		dst[p] = src[i]
+	}
+}
+
+// UnpermuteVecInto undoes PermuteVecInto: dst[i] = src[newIdx[i]].
+func UnpermuteVecInto[T Float](dst, src []T, newIdx []int) {
+	for i, p := range newIdx {
+		dst[i] = src[p]
+	}
+}

@@ -1,0 +1,291 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randCSR builds a random rows×cols CSR matrix with the given fill density.
+func randCSR(rng *rand.Rand, rows, cols int, density float64) *CSR[float64] {
+	b := NewBuilder[float64](rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.BuildCSR()
+}
+
+// randLowerCSR builds a random lower-triangular matrix with nonzero diagonal.
+func randLowerCSR(rng *rand.Rand, n int, density float64) *CSR[float64] {
+	b := NewBuilder[float64](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+		b.Add(i, i, 1+rng.Float64()) // well away from zero
+	}
+	return b.BuildCSR()
+}
+
+func densesEqual(t *testing.T, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("dense length mismatch: got %d want %d", len(got), len(want))
+	}
+	for k := range got {
+		if math.Abs(got[k]-want[k]) > tol {
+			t.Fatalf("dense mismatch at %d: got %g want %g", k, got[k], want[k])
+		}
+	}
+}
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder[float64](2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2.5)
+	b.Add(1, 0, -1)
+	b.Add(1, 1, 4)
+	m := b.BuildCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 0); got != 3.5 {
+		t.Errorf("duplicate sum: got %g want 3.5", got)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("nnz after compaction: got %d want 3", m.NNZ())
+	}
+}
+
+func TestBuilderAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range Add")
+		}
+	}()
+	NewBuilder[float64](2, 2).Add(2, 0, 1)
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		d := make([]float64, rows*cols)
+		for k := range d {
+			if rng.Float64() < 0.4 {
+				d[k] = rng.NormFloat64()
+			}
+		}
+		m := FromDense(rows, cols, d)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		densesEqual(t, m.ToDense(), d, 0)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity[float64](5)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := m.At(i, j); got != want {
+				t.Fatalf("I[%d][%d]=%g", i, j, got)
+			}
+		}
+	}
+}
+
+func TestCSRCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		m := randCSR(rng, 1+rng.Intn(20), 1+rng.Intn(20), 0.3)
+		csc := m.ToCSC()
+		if err := csc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		back := csc.ToCSR()
+		if err := back.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		densesEqual(t, back.ToDense(), m.ToDense(), 0)
+		densesEqual(t, csc.ToDense(), m.ToDense(), 0)
+	}
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randCSR(rng, 9, 14, 0.25)
+	tt := m.Transpose().Transpose()
+	densesEqual(t, tt.ToDense(), m.ToDense(), 0)
+	// And single transpose matches the dense transpose.
+	tr := m.Transpose()
+	d := m.ToDense()
+	td := tr.ToDense()
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if d[i*m.Cols+j] != td[j*m.Rows+i] {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDCSRRoundTripDropsEmptyRows(t *testing.T) {
+	b := NewBuilder[float64](6, 4)
+	b.Add(1, 2, 3)
+	b.Add(1, 3, 4)
+	b.Add(4, 0, -1)
+	m := b.BuildCSR()
+	d := m.ToDCSR()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.StoredRows() != 2 {
+		t.Fatalf("stored rows: got %d want 2", d.StoredRows())
+	}
+	if d.RowIdx[0] != 1 || d.RowIdx[1] != 4 {
+		t.Fatalf("stored row ids: got %v", d.RowIdx)
+	}
+	densesEqual(t, d.ToCSR().ToDense(), m.ToDense(), 0)
+}
+
+func TestDCSRRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		m := randCSR(rng, 1+rng.Intn(30), 1+rng.Intn(10), 0.05)
+		d := m.ToDCSR()
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		densesEqual(t, d.ToCSR().ToDense(), m.ToDense(), 0)
+	}
+}
+
+func TestCOOToCSRHandlesUnsortedDuplicates(t *testing.T) {
+	coo := &COO[float64]{
+		Rows: 3, Cols: 3,
+		RowIdx: []int{2, 0, 2, 0, 1},
+		ColIdx: []int{1, 2, 1, 0, 1},
+		Val:    []float64{5, 1, -2, 7, 3},
+	}
+	if err := coo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := coo.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(2, 1); got != 3 {
+		t.Errorf("summed duplicate: got %g want 3", got)
+	}
+	if m.NNZ() != 4 {
+		t.Errorf("nnz: got %d want 4", m.NNZ())
+	}
+}
+
+func TestConvertValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randCSR(rng, 8, 8, 0.3)
+	f32 := ConvertValues[float32](m)
+	if err := f32.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.Val {
+		if f32.Val[k] != float32(m.Val[k]) {
+			t.Fatalf("value %d not converted", k)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := func() *CSR[float64] {
+		return FromDense(2, 2, []float64{1, 2, 3, 4})
+	}
+	cases := []struct {
+		name   string
+		mutate func(*CSR[float64])
+	}{
+		{"rowptr length", func(m *CSR[float64]) { m.RowPtr = m.RowPtr[:2] }},
+		{"rowptr start", func(m *CSR[float64]) { m.RowPtr[0] = 1 }},
+		{"rowptr monotone", func(m *CSR[float64]) { m.RowPtr[1] = 3; m.RowPtr[2] = 2 }},
+		{"col out of range", func(m *CSR[float64]) { m.ColIdx[0] = 9 }},
+		{"col negative", func(m *CSR[float64]) { m.ColIdx[0] = -1 }},
+		{"col duplicate", func(m *CSR[float64]) { m.ColIdx[1] = m.ColIdx[0] }},
+		{"val length", func(m *CSR[float64]) { m.Val = m.Val[:1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := good()
+			tc.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("Validate accepted corrupted matrix")
+			}
+		})
+	}
+}
+
+func TestCSCValidateCatchesCorruption(t *testing.T) {
+	good := func() *CSC[float64] {
+		return FromDense(2, 2, []float64{1, 2, 3, 4}).ToCSC()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*CSC[float64])
+	}{
+		{"colptr length", func(m *CSC[float64]) { m.ColPtr = m.ColPtr[:2] }},
+		{"row out of range", func(m *CSC[float64]) { m.RowIdx[0] = 5 }},
+		{"row duplicate", func(m *CSC[float64]) { m.RowIdx[1] = m.RowIdx[0] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := good()
+			tc.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("Validate accepted corrupted matrix")
+			}
+		})
+	}
+}
+
+func TestFeatureHelpers(t *testing.T) {
+	b := NewBuilder[float64](4, 4)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 1)
+	b.Add(2, 3, 1)
+	m := b.BuildCSR()
+	if got := m.EmptyRowRatio(); got != 0.5 {
+		t.Errorf("EmptyRowRatio: got %g want 0.5", got)
+	}
+	if got := m.NNZPerRow(); got != 0.75 {
+		t.Errorf("NNZPerRow: got %g want 0.75", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randCSR(rng, 5, 5, 0.4)
+	c := m.Clone()
+	c.Val[0] = 999
+	if m.Val[0] == 999 {
+		t.Fatal("Clone shares value storage")
+	}
+	csc := m.ToCSC()
+	cc := csc.Clone()
+	cc.Val[0] = 999
+	if csc.Val[0] == 999 {
+		t.Fatal("CSC Clone shares value storage")
+	}
+}

@@ -1,0 +1,66 @@
+package sparse
+
+import "sort"
+
+// RowStats summarises the row-length distribution and bandwidth of a
+// matrix — the structural features behind algorithm choice: skewed row
+// lengths (high Gini) indicate power-law matrices that need nnz-balanced
+// kernels; bandwidth indicates how far blocking must reach.
+type RowStats struct {
+	// MinLen/MaxLen/AvgLen describe stored entries per row.
+	MinLen int
+	MaxLen int
+	AvgLen float64
+	// P50Len/P99Len are row-length percentiles.
+	P50Len int
+	P99Len int
+	// Gini is the Gini coefficient of the row lengths: 0 for perfectly
+	// uniform rows, approaching 1 when a few rows hold almost everything.
+	Gini float64
+	// Bandwidth is max_i over stored entries of |i - j|.
+	Bandwidth int
+}
+
+// RowStats computes the row statistics in O(nnz + n log n).
+func (m *CSR[T]) RowStats() RowStats {
+	if m.Rows == 0 {
+		return RowStats{}
+	}
+	lens := make([]int, m.Rows)
+	st := RowStats{MinLen: m.RowPtr[1] - m.RowPtr[0]}
+	for i := 0; i < m.Rows; i++ {
+		l := m.RowPtr[i+1] - m.RowPtr[i]
+		lens[i] = l
+		if l < st.MinLen {
+			st.MinLen = l
+		}
+		if l > st.MaxLen {
+			st.MaxLen = l
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d := i - m.ColIdx[k]
+			if d < 0 {
+				d = -d
+			}
+			if d > st.Bandwidth {
+				st.Bandwidth = d
+			}
+		}
+	}
+	st.AvgLen = float64(m.NNZ()) / float64(m.Rows)
+	sort.Ints(lens)
+	st.P50Len = lens[(len(lens)-1)/2]
+	st.P99Len = lens[(len(lens)-1)*99/100]
+	// Gini via the sorted-rank formula: G = (2·Σ i·x_i)/(n·Σ x_i) − (n+1)/n
+	// with 1-based ranks i over ascending x.
+	var sum, weighted float64
+	for i, l := range lens {
+		sum += float64(l)
+		weighted += float64(i+1) * float64(l)
+	}
+	if sum > 0 {
+		n := float64(len(lens))
+		st.Gini = 2*weighted/(n*sum) - (n+1)/n
+	}
+	return st
+}

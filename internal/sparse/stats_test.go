@@ -1,0 +1,75 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRowStatsUniform(t *testing.T) {
+	// Tridiagonal-ish: row 0 has 1 entry, the rest 2 (prev + diag).
+	b := NewBuilder[float64](100, 100)
+	for i := 0; i < 100; i++ {
+		b.Add(i, i, 1)
+		if i > 0 {
+			b.Add(i, i-1, 1)
+		}
+	}
+	st := b.BuildCSR().RowStats()
+	if st.MinLen != 1 || st.MaxLen != 2 {
+		t.Fatalf("min/max: %d/%d", st.MinLen, st.MaxLen)
+	}
+	if st.Bandwidth != 1 {
+		t.Fatalf("bandwidth: %d", st.Bandwidth)
+	}
+	if st.P50Len != 2 || st.P99Len != 2 {
+		t.Fatalf("percentiles: %d/%d", st.P50Len, st.P99Len)
+	}
+	if st.Gini > 0.05 {
+		t.Fatalf("near-uniform rows should have tiny Gini, got %g", st.Gini)
+	}
+}
+
+func TestRowStatsSkewed(t *testing.T) {
+	// One row holds 1000 entries, 999 rows hold one (diagonal-ish).
+	b := NewBuilder[float64](1000, 1000)
+	for i := 0; i < 1000; i++ {
+		b.Add(i, i, 1)
+	}
+	for j := 0; j < 999; j++ {
+		b.Add(999, j, 1)
+	}
+	st := b.BuildCSR().RowStats()
+	if st.MaxLen != 1000 || st.MinLen != 1 {
+		t.Fatalf("min/max: %d/%d", st.MinLen, st.MaxLen)
+	}
+	if st.Gini < 0.4 {
+		t.Fatalf("skewed rows should have large Gini, got %g", st.Gini)
+	}
+	if st.Bandwidth != 999 {
+		t.Fatalf("bandwidth: %d", st.Bandwidth)
+	}
+}
+
+func TestRowStatsPerfectlyEqual(t *testing.T) {
+	m := Identity[float64](64)
+	st := m.RowStats()
+	if math.Abs(st.Gini) > 1e-12 {
+		t.Fatalf("identity Gini = %g", st.Gini)
+	}
+	if st.AvgLen != 1 || st.MinLen != 1 || st.MaxLen != 1 {
+		t.Fatalf("identity stats: %+v", st)
+	}
+}
+
+func TestRowStatsEmpty(t *testing.T) {
+	m := &CSR[float64]{Rows: 0, Cols: 0, RowPtr: []int{0}}
+	if st := m.RowStats(); st != (RowStats{}) {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	// All-empty rows: Gini undefined, stays 0.
+	z := &CSR[float64]{Rows: 3, Cols: 3, RowPtr: []int{0, 0, 0, 0}}
+	st := z.RowStats()
+	if st.Gini != 0 || st.MaxLen != 0 {
+		t.Fatalf("zero-matrix stats: %+v", st)
+	}
+}

@@ -1,0 +1,230 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrSingular reports a triangular matrix with a missing or zero diagonal
+// entry, which makes the solve undefined.
+var ErrSingular = errors.New("sparse: singular triangular matrix (zero or missing diagonal)")
+
+// ErrNotTriangular reports a matrix that was expected to be triangular.
+var ErrNotTriangular = errors.New("sparse: matrix is not triangular")
+
+// LowerTriangle extracts the lower-triangular part (including the diagonal)
+// of a square CSR matrix. If insertUnitDiag is true, rows whose diagonal
+// entry is missing or zero receive a unit diagonal — the convention the
+// paper uses to make every SuiteSparse test matrix solvable ("plus a
+// diagonal to avoid singular").
+func LowerTriangle[T Float](m *CSR[T], insertUnitDiag bool) (*CSR[T], error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: %dx%d not square", ErrShape, m.Rows, m.Cols)
+	}
+	n := m.Rows
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, 0, m.NNZ())
+	val := make([]T, 0, m.NNZ())
+	for i := 0; i < n; i++ {
+		haveDiag := false
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			if c > i {
+				break // columns ascend; rest of row is strictly upper
+			}
+			v := m.Val[k]
+			if c == i {
+				if v == 0 && insertUnitDiag {
+					v = 1
+				}
+				if v == 0 {
+					return nil, fmt.Errorf("%w: row %d", ErrSingular, i)
+				}
+				haveDiag = true
+			}
+			colIdx = append(colIdx, c)
+			val = append(val, v)
+		}
+		if !haveDiag {
+			if !insertUnitDiag {
+				return nil, fmt.Errorf("%w: row %d", ErrSingular, i)
+			}
+			colIdx = append(colIdx, i)
+			val = append(val, 1)
+		}
+		rowPtr[i+1] = len(val)
+	}
+	return &CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+// UpperTriangle extracts the upper-triangular part (including the diagonal)
+// of a square CSR matrix, with the same diagonal policy as LowerTriangle.
+func UpperTriangle[T Float](m *CSR[T], insertUnitDiag bool) (*CSR[T], error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: %dx%d not square", ErrShape, m.Rows, m.Cols)
+	}
+	n := m.Rows
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, 0, m.NNZ())
+	val := make([]T, 0, m.NNZ())
+	for i := 0; i < n; i++ {
+		haveDiag := false
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		seg := m.ColIdx[lo:hi]
+		start := lo + sort.SearchInts(seg, i)
+		if start < hi && m.ColIdx[start] == i {
+			v := m.Val[start]
+			if v == 0 && insertUnitDiag {
+				v = 1
+			}
+			if v == 0 {
+				return nil, fmt.Errorf("%w: row %d", ErrSingular, i)
+			}
+			colIdx = append(colIdx, i)
+			val = append(val, v)
+			haveDiag = true
+			start++
+		}
+		if !haveDiag {
+			if !insertUnitDiag {
+				return nil, fmt.Errorf("%w: row %d", ErrSingular, i)
+			}
+			colIdx = append(colIdx, i)
+			val = append(val, 1)
+		}
+		for k := start; k < hi; k++ {
+			colIdx = append(colIdx, m.ColIdx[k])
+			val = append(val, m.Val[k])
+		}
+		rowPtr[i+1] = len(val)
+	}
+	return &CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+// IsLowerTriangular reports whether every stored entry satisfies col <= row.
+func (m *CSR[T]) IsLowerTriangular() bool {
+	for i := 0; i < m.Rows; i++ {
+		hi := m.RowPtr[i+1]
+		if hi > m.RowPtr[i] && m.ColIdx[hi-1] > i {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUpperTriangular reports whether every stored entry satisfies col >= row.
+func (m *CSR[T]) IsUpperTriangular() bool {
+	for i := 0; i < m.Rows; i++ {
+		lo := m.RowPtr[i]
+		if lo < m.RowPtr[i+1] && m.ColIdx[lo] < i {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckLowerSolvable verifies that the matrix is square, lower triangular
+// and has a full nonzero diagonal, i.e. that Lx=b is well defined.
+func CheckLowerSolvable[T Float](m *CSR[T]) error {
+	if m.Rows != m.Cols {
+		return fmt.Errorf("%w: %dx%d not square", ErrShape, m.Rows, m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if hi == lo {
+			return fmt.Errorf("%w: row %d empty", ErrSingular, i)
+		}
+		if m.ColIdx[hi-1] > i {
+			return fmt.Errorf("%w: row %d has entry in column %d", ErrNotTriangular, i, m.ColIdx[hi-1])
+		}
+		if m.ColIdx[hi-1] != i || m.Val[hi-1] == 0 {
+			return fmt.Errorf("%w: row %d", ErrSingular, i)
+		}
+	}
+	return nil
+}
+
+// SubCSR extracts the sub-matrix with global rows [r0,r1) and columns
+// [c0,c1) as a new CSR matrix with local (shifted) indices.
+func SubCSR[T Float](m *CSR[T], r0, r1, c0, c1 int) *CSR[T] {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("sparse: SubCSR range [%d,%d)x[%d,%d) invalid for %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	rows := r1 - r0
+	rowPtr := make([]int, rows+1)
+	var colIdx []int
+	var val []T
+	for i := r0; i < r1; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		seg := m.ColIdx[lo:hi]
+		a := lo + sort.SearchInts(seg, c0)
+		b := lo + sort.SearchInts(seg, c1)
+		for k := a; k < b; k++ {
+			colIdx = append(colIdx, m.ColIdx[k]-c0)
+			val = append(val, m.Val[k])
+		}
+		rowPtr[i-r0+1] = len(val)
+	}
+	return &CSR[T]{Rows: rows, Cols: c1 - c0, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// SubCSC extracts the sub-matrix with global rows [r0,r1) and columns
+// [c0,c1) as a new CSC matrix with local (shifted) indices.
+func SubCSC[T Float](m *CSC[T], r0, r1, c0, c1 int) *CSC[T] {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("sparse: SubCSC range [%d,%d)x[%d,%d) invalid for %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	cols := c1 - c0
+	colPtr := make([]int, cols+1)
+	var rowIdx []int
+	var val []T
+	for j := c0; j < c1; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		seg := m.RowIdx[lo:hi]
+		a := lo + sort.SearchInts(seg, r0)
+		b := lo + sort.SearchInts(seg, r1)
+		for k := a; k < b; k++ {
+			rowIdx = append(rowIdx, m.RowIdx[k]-r0)
+			val = append(val, m.Val[k])
+		}
+		colPtr[j-c0+1] = len(val)
+	}
+	return &CSC[T]{Rows: r1 - r0, Cols: cols, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
+}
+
+// SplitDiagCSC separates a square lower-triangular CSC matrix into its
+// strictly-lower part and a dense diagonal vector, the storage convention
+// the paper uses for triangular sub-blocks ("the diagonal is saved
+// separately"). It returns ErrSingular if any diagonal entry is missing or
+// zero.
+func SplitDiagCSC[T Float](m *CSC[T]) (strict *CSC[T], diag []T, err error) {
+	if m.Rows != m.Cols {
+		return nil, nil, fmt.Errorf("%w: %dx%d not square", ErrShape, m.Rows, m.Cols)
+	}
+	n := m.Rows
+	diag = make([]T, n)
+	colPtr := make([]int, n+1)
+	rowIdx := make([]int, 0, m.NNZ()-n)
+	val := make([]T, 0, m.NNZ()-n)
+	for j := 0; j < n; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		if lo == hi || m.RowIdx[lo] != j {
+			return nil, nil, fmt.Errorf("%w: column %d", ErrSingular, j)
+		}
+		if m.RowIdx[lo] < j {
+			return nil, nil, fmt.Errorf("%w: column %d has entry above diagonal", ErrNotTriangular, j)
+		}
+		if m.Val[lo] == 0 {
+			return nil, nil, fmt.Errorf("%w: column %d", ErrSingular, j)
+		}
+		diag[j] = m.Val[lo]
+		for k := lo + 1; k < hi; k++ {
+			rowIdx = append(rowIdx, m.RowIdx[k])
+			val = append(val, m.Val[k])
+		}
+		colPtr[j+1] = len(val)
+	}
+	strict = &CSC[T]{Rows: n, Cols: n, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
+	return strict, diag, nil
+}

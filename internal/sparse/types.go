@@ -1,0 +1,285 @@
+// Package sparse provides the sparse matrix formats used throughout the
+// library: CSR (compressed sparse row), CSC (compressed sparse column), COO
+// (coordinate triplets) and DCSR (doubly-compressed sparse row, storing only
+// non-empty rows). All formats are generic over float32 and float64.
+//
+// Index arrays use int throughout; matrices up to a few hundred million
+// nonzeros fit comfortably in memory at the scales this library targets.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Float is the constraint satisfied by the two supported element types.
+type Float interface {
+	~float32 | ~float64
+}
+
+// ErrShape reports a structurally invalid matrix (negative dimensions,
+// out-of-range indices, non-monotone pointers, and similar defects).
+var ErrShape = errors.New("sparse: invalid matrix shape")
+
+// CSR is a matrix in compressed sparse row format. Row i owns the index
+// range RowPtr[i]..RowPtr[i+1] of ColIdx and Val. Column indices within a
+// row are kept in ascending order by every constructor in this package.
+type CSR[T Float] struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []T
+}
+
+// CSC is a matrix in compressed sparse column format. Column j owns the
+// index range ColPtr[j]..ColPtr[j+1] of RowIdx and Val. Row indices within a
+// column are kept in ascending order by every constructor in this package.
+type CSC[T Float] struct {
+	Rows, Cols int
+	ColPtr     []int
+	RowIdx     []int
+	Val        []T
+}
+
+// COO is a matrix as unordered coordinate triplets. Duplicate coordinates
+// are permitted; conversions sum them.
+type COO[T Float] struct {
+	Rows, Cols int
+	RowIdx     []int
+	ColIdx     []int
+	Val        []T
+}
+
+// DCSR is a doubly-compressed sparse row matrix: only rows that contain at
+// least one nonzero are represented. RowIdx[k] is the global row number of
+// the k-th stored row, whose entries live in RowPtr[k]..RowPtr[k+1]. This is
+// the format the paper derives from DCSC (Buluç & Gilbert) for very sparse
+// square blocks whose rows are mostly empty.
+type DCSR[T Float] struct {
+	Rows, Cols int
+	RowIdx     []int // global row number per stored row, ascending
+	RowPtr     []int // len(RowIdx)+1
+	ColIdx     []int
+	Val        []T
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR[T]) NNZ() int { return len(m.Val) }
+
+// NNZ returns the number of stored entries.
+func (m *CSC[T]) NNZ() int { return len(m.Val) }
+
+// NNZ returns the number of stored entries.
+func (m *COO[T]) NNZ() int { return len(m.Val) }
+
+// NNZ returns the number of stored entries.
+func (m *DCSR[T]) NNZ() int { return len(m.Val) }
+
+// StoredRows returns the number of non-empty rows physically stored.
+func (m *DCSR[T]) StoredRows() int { return len(m.RowIdx) }
+
+// RowLen returns the number of stored entries in row i.
+func (m *CSR[T]) RowLen(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// ColLen returns the number of stored entries in column j.
+func (m *CSC[T]) ColLen(j int) int { return m.ColPtr[j+1] - m.ColPtr[j] }
+
+// Validate checks the structural invariants of the CSR matrix: pointer
+// monotonicity, array length agreement, in-range and strictly ascending
+// column indices per row.
+func (m *CSR[T]) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("%w: negative dimension %dx%d", ErrShape, m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("%w: len(RowPtr)=%d want %d", ErrShape, len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("%w: RowPtr[0]=%d want 0", ErrShape, m.RowPtr[0])
+	}
+	nnz := m.RowPtr[m.Rows]
+	if len(m.ColIdx) != nnz || len(m.Val) != nnz {
+		return fmt.Errorf("%w: nnz=%d but len(ColIdx)=%d len(Val)=%d", ErrShape, nnz, len(m.ColIdx), len(m.Val))
+	}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if hi < lo {
+			return fmt.Errorf("%w: RowPtr not monotone at row %d", ErrShape, i)
+		}
+		prev := -1
+		for k := lo; k < hi; k++ {
+			c := m.ColIdx[k]
+			if c < 0 || c >= m.Cols {
+				return fmt.Errorf("%w: row %d has column %d out of range [0,%d)", ErrShape, i, c, m.Cols)
+			}
+			if c <= prev {
+				return fmt.Errorf("%w: row %d columns not strictly ascending at %d", ErrShape, i, k)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the CSC matrix.
+func (m *CSC[T]) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("%w: negative dimension %dx%d", ErrShape, m.Rows, m.Cols)
+	}
+	if len(m.ColPtr) != m.Cols+1 {
+		return fmt.Errorf("%w: len(ColPtr)=%d want %d", ErrShape, len(m.ColPtr), m.Cols+1)
+	}
+	if m.ColPtr[0] != 0 {
+		return fmt.Errorf("%w: ColPtr[0]=%d want 0", ErrShape, m.ColPtr[0])
+	}
+	nnz := m.ColPtr[m.Cols]
+	if len(m.RowIdx) != nnz || len(m.Val) != nnz {
+		return fmt.Errorf("%w: nnz=%d but len(RowIdx)=%d len(Val)=%d", ErrShape, nnz, len(m.RowIdx), len(m.Val))
+	}
+	for j := 0; j < m.Cols; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		if hi < lo {
+			return fmt.Errorf("%w: ColPtr not monotone at column %d", ErrShape, j)
+		}
+		prev := -1
+		for k := lo; k < hi; k++ {
+			r := m.RowIdx[k]
+			if r < 0 || r >= m.Rows {
+				return fmt.Errorf("%w: column %d has row %d out of range [0,%d)", ErrShape, j, r, m.Rows)
+			}
+			if r <= prev {
+				return fmt.Errorf("%w: column %d rows not strictly ascending at %d", ErrShape, j, k)
+			}
+			prev = r
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the COO matrix.
+func (m *COO[T]) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("%w: negative dimension %dx%d", ErrShape, m.Rows, m.Cols)
+	}
+	if len(m.RowIdx) != len(m.ColIdx) || len(m.RowIdx) != len(m.Val) {
+		return fmt.Errorf("%w: triplet arrays disagree: %d/%d/%d", ErrShape, len(m.RowIdx), len(m.ColIdx), len(m.Val))
+	}
+	for k := range m.RowIdx {
+		if m.RowIdx[k] < 0 || m.RowIdx[k] >= m.Rows || m.ColIdx[k] < 0 || m.ColIdx[k] >= m.Cols {
+			return fmt.Errorf("%w: triplet %d (%d,%d) out of range %dx%d", ErrShape, k, m.RowIdx[k], m.ColIdx[k], m.Rows, m.Cols)
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the DCSR matrix.
+func (m *DCSR[T]) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("%w: negative dimension %dx%d", ErrShape, m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != len(m.RowIdx)+1 {
+		return fmt.Errorf("%w: len(RowPtr)=%d want %d", ErrShape, len(m.RowPtr), len(m.RowIdx)+1)
+	}
+	if len(m.RowPtr) == 0 || m.RowPtr[0] != 0 {
+		return fmt.Errorf("%w: RowPtr must start at 0", ErrShape)
+	}
+	nnz := m.RowPtr[len(m.RowPtr)-1]
+	if len(m.ColIdx) != nnz || len(m.Val) != nnz {
+		return fmt.Errorf("%w: nnz=%d but len(ColIdx)=%d len(Val)=%d", ErrShape, nnz, len(m.ColIdx), len(m.Val))
+	}
+	prevRow := -1
+	for k, r := range m.RowIdx {
+		if r < 0 || r >= m.Rows {
+			return fmt.Errorf("%w: stored row %d has global index %d out of range [0,%d)", ErrShape, k, r, m.Rows)
+		}
+		if r <= prevRow {
+			return fmt.Errorf("%w: stored row indices not strictly ascending at %d", ErrShape, k)
+		}
+		prevRow = r
+		if m.RowPtr[k+1] < m.RowPtr[k] {
+			return fmt.Errorf("%w: RowPtr not monotone at stored row %d", ErrShape, k)
+		}
+		prev := -1
+		for p := m.RowPtr[k]; p < m.RowPtr[k+1]; p++ {
+			c := m.ColIdx[p]
+			if c < 0 || c >= m.Cols {
+				return fmt.Errorf("%w: stored row %d has column %d out of range [0,%d)", ErrShape, k, c, m.Cols)
+			}
+			if c <= prev {
+				return fmt.Errorf("%w: stored row %d columns not strictly ascending", ErrShape, k)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// At returns the entry at (i, j), or zero if it is not stored.
+// It is O(log rowlen) and intended for tests and small examples.
+func (m *CSR[T]) At(i, j int) T {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	seg := m.ColIdx[lo:hi]
+	k := sort.SearchInts(seg, j)
+	if k < len(seg) && seg[k] == j {
+		return m.Val[lo+k]
+	}
+	return 0
+}
+
+// At returns the entry at (i, j), or zero if it is not stored.
+func (m *CSC[T]) At(i, j int) T {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	seg := m.RowIdx[lo:hi]
+	k := sort.SearchInts(seg, i)
+	if k < len(seg) && seg[k] == i {
+		return m.Val[lo+k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *CSR[T]) Clone() *CSR[T] {
+	return &CSR[T]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]T(nil), m.Val...),
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *CSC[T]) Clone() *CSC[T] {
+	return &CSC[T]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: append([]int(nil), m.ColPtr...),
+		RowIdx: append([]int(nil), m.RowIdx...),
+		Val:    append([]T(nil), m.Val...),
+	}
+}
+
+// EmptyRowRatio reports the fraction of rows that store no entries.
+// It is the "emptyratio" feature of the paper's adaptive SpMV selection.
+func (m *CSR[T]) EmptyRowRatio() float64 {
+	if m.Rows == 0 {
+		return 0
+	}
+	empty := 0
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1] == m.RowPtr[i] {
+			empty++
+		}
+	}
+	return float64(empty) / float64(m.Rows)
+}
+
+// NNZPerRow reports the average number of stored entries per row, the
+// "nnz/row" feature of the paper's adaptive kernel selection.
+func (m *CSR[T]) NNZPerRow() float64 {
+	if m.Rows == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(m.Rows)
+}

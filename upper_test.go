@@ -1,0 +1,127 @@
+package blocksptrsv_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	sptrsv "github.com/sss-lab/blocksptrsv"
+)
+
+func buildRandomUpper(n int, density float64, seed int64) *sptrsv.Matrix[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	b := sptrsv.NewBuilder[float64](n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2+rng.Float64())
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, 0.3*rng.NormFloat64()/float64(1+j-i))
+			}
+		}
+	}
+	return b.BuildCSR()
+}
+
+func TestUpperSolver(t *testing.T) {
+	u := buildRandomUpper(2000, 0.01, 5)
+	s, err := sptrsv.AnalyzeUpper(u, sptrsv.DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 2000 {
+		t.Fatal("Rows")
+	}
+	b := make([]float64, u.Rows)
+	for i := range b {
+		b[i] = math.Cos(float64(i))
+	}
+	x := make([]float64, u.Rows)
+	s.Solve(b, x)
+	worst := 0.0
+	for i := 0; i < u.Rows; i++ {
+		var sum float64
+		for k := u.RowPtr[i]; k < u.RowPtr[i+1]; k++ {
+			sum += u.Val[k] * x[u.ColIdx[k]]
+		}
+		if r := math.Abs(sum-b[i]) / (1 + math.Abs(b[i])); r > worst {
+			worst = r
+		}
+	}
+	if worst > 1e-9 {
+		t.Fatalf("residual %g", worst)
+	}
+	if s.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestAnalyzeUpperRejectsBadInput(t *testing.T) {
+	lower := buildRandomLower(10, 0.5, 6)
+	if _, err := sptrsv.AnalyzeUpper(lower, sptrsv.DefaultOptions(1)); err == nil {
+		t.Fatal("accepted lower-triangular input")
+	}
+	rect := sptrsv.FromDense(2, 3, []float64{1, 0, 0, 0, 1, 0})
+	if _, err := sptrsv.AnalyzeUpper(rect, sptrsv.DefaultOptions(1)); err == nil {
+		t.Fatal("accepted rectangular input")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := sptrsv.FromDense(2, 3, []float64{1, 2, 0, 0, -1, 4})
+	x := []float64{1, 2, 3}
+	y := make([]float64, 2)
+	sptrsv.MatVec(m, x, y)
+	if y[0] != 5 || y[1] != 10 {
+		t.Fatalf("y=%v", y)
+	}
+}
+
+func TestTuneThresholdsReturnsRunnableTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	th := sptrsv.TuneThresholds(2, 600)
+	// The fitted tree must still classify every feature point.
+	l := buildRandomLower(500, 0.05, 7)
+	o := sptrsv.DefaultOptions(2)
+	o.Thresholds = th
+	s, err := sptrsv.Analyze(l, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, l.Rows)
+	x := make([]float64, l.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	s.Solve(b, x)
+	if r := publicResidual(l, x, b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestSaveLoadSolverPublicAPI(t *testing.T) {
+	l := buildRandomLower(1500, 0.01, 8)
+	s, err := sptrsv.Analyze(l, sptrsv.DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sptrsv.LoadSolver[float64](&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, l.Rows)
+	for i := range b {
+		b[i] = float64(i % 9)
+	}
+	x := make([]float64, l.Rows)
+	back.Solve(b, x)
+	if r := publicResidual(l, x, b); r > 1e-9 {
+		t.Fatalf("loaded solver residual %g", r)
+	}
+}
