@@ -1,0 +1,27 @@
+# Development targets. `make ci` is the gate every change must pass: vet,
+# full build, full test suite, and the race detector on the three packages
+# that exercise the lock-free machinery (spin-barrier pool, sync-free
+# kernels, block solver).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-launch
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/exec ./internal/kernels ./internal/block
+
+# Launch-latency microbenchmarks: the three launcher styles head to head.
+bench-launch:
+	$(GO) test -run - -bench 'LaunchOverhead|LevelSetLauncherStyles' \
+		./internal/exec ./internal/kernels

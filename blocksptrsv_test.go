@@ -188,8 +188,11 @@ func TestSolverIntrospection(t *testing.T) {
 
 func TestDefaultOptionsWorkerOverride(t *testing.T) {
 	o := sptrsv.DefaultOptions(3)
-	if o.Pool.Workers() != 3 {
-		t.Fatalf("workers: %d", o.Pool.Workers())
+	if o.Pool != nil {
+		t.Fatalf("expected lazy pool (nil until Analyze), got %T", o.Pool)
+	}
+	if o.Workers != 3 {
+		t.Fatalf("workers: %d", o.Workers)
 	}
 	if o.Kind != sptrsv.Recursive || !o.Reorder || !o.Adaptive {
 		t.Fatalf("defaults not paper defaults: %+v", o)

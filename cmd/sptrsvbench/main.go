@@ -31,6 +31,7 @@ func main() {
 		csvDir     = flag.String("csvdir", "", "directory for machine-readable figure data (.csv); empty disables")
 		workersS   = flag.Int("workers-small", 0, "worker count of the small device (0 = 2/3 of GOMAXPROCS)")
 		workersL   = flag.Int("workers-large", 0, "worker count of the large device (0 = GOMAXPROCS)")
+		launcher   = flag.String("launcher", "spin", "launch style for both devices: spin, spawn, or channel")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -49,6 +50,13 @@ func main() {
 	if *workersL > 0 {
 		devs[1].Workers = *workersL
 	}
+	style, err := exec.ParseLaunchStyle(*launcher)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptrsvbench: %v\n", err)
+		os.Exit(2)
+	}
+	devs[0].Style = style
+	devs[1].Style = style
 	p := bench.Params{
 		Scale:         *scale,
 		Repeats:       *repeats,

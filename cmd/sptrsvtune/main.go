@@ -29,7 +29,8 @@ func main() {
 	)
 	flag.Parse()
 
-	pool := exec.NewPool(*workers)
+	pool := exec.NewSpinPool(*workers)
+	defer pool.Close()
 	fmt.Printf("tuning on %d workers, %d-row blocks (best of %d)...\n", pool.Workers(), *rows, *repeats)
 	t0 := time.Now()
 	fitted := adapt.QuickFit(pool, *rows, *repeats, 9001)
@@ -46,6 +47,7 @@ func main() {
 	row("SpMVScalarMaxNNZRow", paper.SpMVScalarMaxNNZRow, fitted.SpMVScalarMaxNNZRow)
 	row("SpMVScalarDCSRMin", paper.SpMVScalarDCSRMin, fitted.SpMVScalarDCSRMin)
 	row("SpMVVectorDCSRMin", paper.SpMVVectorDCSRMin, fitted.SpMVVectorDCSRMin)
+	row("LaunchCost", paper.LaunchCost, fitted.LaunchCost)
 
 	if *out != "" {
 		data, err := json.MarshalIndent(fitted, "", "  ")

@@ -94,7 +94,7 @@ func TuneTri(p exec.Launcher, rows int, nnzRowAxis []int, levelsAxis []int, repe
 				cell.GFlops[kernels.TriSyncFree] = gflops(flops, d)
 
 				strictCSR := strict.ToCSR()
-				sched := kernels.NewMergedSchedule(info, 2*p.Workers())
+				sched := kernels.NewMergedSchedule(info, 0, p.Workers())
 				d = bestTime(repeats, func() {
 					copy(w, b)
 					kernels.TriCuSparseLikeSolve(p, sched, strictCSR, diag, w, x)
@@ -189,7 +189,9 @@ func QuickFit(p exec.Launcher, rows, repeats int, seed int64) Thresholds {
 		[]int{1, 2, 4, 8, 16, 32, 64},
 		[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.9},
 		repeats, seed+1)
-	return FitThresholds(tri, spmv)
+	th := FitThresholds(tri, spmv)
+	th.LaunchCost = exec.MeasureLaunchCost(p, 64)
+	return th
 }
 
 // FitThresholds derives machine-specific decision-tree cut points from

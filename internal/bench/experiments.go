@@ -18,7 +18,7 @@ import (
 
 // ExperimentNames lists the runnable experiment ids in paper order.
 func ExperimentNames() []string {
-	return []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "table4", "table5", "ablation", "scaling"}
+	return []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "table4", "table5", "ablation", "scaling", "launch"}
 }
 
 // Run dispatches one experiment by id.
@@ -46,6 +46,8 @@ func Run(id string, w io.Writer, p Params) error {
 		return Ablation(w, p)
 	case "scaling":
 		return Scaling(w, p)
+	case "launch":
+		return LaunchOverhead(w, p)
 	}
 	return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ExperimentNames())
 }
@@ -142,6 +144,7 @@ func Table3(w io.Writer, p Params) error {
 func Figure4(w io.Writer, p Params) error {
 	dev := p.Devices[len(p.Devices)-1]
 	pool := dev.Pool()
+	defer exec.CloseLauncher(pool)
 	rep := gen.Representative6(p.Scale)
 	csvRows := [][]string{{"matrix", "parts", "kind", "spmv_ms"}}
 	fmt.Fprintf(w, "Figure 4: SpMV time (ms per solve) of the three block algorithms on %s\n", dev)
@@ -196,6 +199,7 @@ func Figure4(w io.Writer, p Params) error {
 func Figure5(w io.Writer, p Params) error {
 	dev := p.Devices[len(p.Devices)-1]
 	pool := dev.Pool()
+	defer exec.CloseLauncher(pool)
 	rows := int(40000 * p.Scale)
 	if rows < 2000 {
 		rows = 2000
@@ -294,6 +298,7 @@ func comparedAlgorithms() []string {
 // device, returning measurements keyed by matrix then algorithm.
 func runCorpus(dev exec.Device, entries []gen.Entry, p Params, th adapt.Thresholds) ([]map[string]Measurement, error) {
 	pool := dev.Pool()
+	defer exec.CloseLauncher(pool)
 	cfg := core.Config{Device: dev, Pool: pool}
 	bo := block.Defaults(dev)
 	bo.Pool = pool
@@ -325,7 +330,9 @@ func Figure6(w io.Writer, p Params) error {
 	for _, dev := range p.Devices {
 		th := adapt.DefaultThresholds()
 		if p.FitThresholds {
-			th = fitThresholdsFor(dev.Pool(), p)
+			fitPool := dev.Pool()
+			th = fitThresholdsFor(fitPool, p)
+			exec.CloseLauncher(fitPool)
 		}
 		res, err := runCorpus(dev, entries, p, th)
 		if err != nil {
@@ -385,6 +392,8 @@ func Figure7(w io.Writer, p Params) error {
 		pool := dev.Pool()
 		cfg := core.Config{Device: dev, Pool: pool}
 		ratios := map[string][]float64{}
+		closePool := func() { exec.CloseLauncher(pool) }
+		defer closePool()
 		for _, e := range entries {
 			l64 := e.Build()
 			l32 := sparse.ConvertValues[float32](l64)
@@ -447,7 +456,9 @@ func Table4(w io.Writer, p Params) error {
 	dev := p.Devices[len(p.Devices)-1]
 	th := adapt.DefaultThresholds()
 	if p.FitThresholds {
-		th = fitThresholdsFor(dev.Pool(), p)
+		fitPool := dev.Pool()
+		th = fitThresholdsFor(fitPool, p)
+		exec.CloseLauncher(fitPool)
 	}
 	entries := gen.Representative6(p.Scale)
 	res, err := runCorpus(dev, entries, p, th)
@@ -477,7 +488,9 @@ func Table5(w io.Writer, p Params) error {
 	dev := p.Devices[len(p.Devices)-1]
 	th := adapt.DefaultThresholds()
 	if p.FitThresholds {
-		th = fitThresholdsFor(dev.Pool(), p)
+		fitPool := dev.Pool()
+		th = fitThresholdsFor(fitPool, p)
+		exec.CloseLauncher(fitPool)
 	}
 	entries := gen.Corpus(p.Scale)
 	res, err := runCorpus(dev, entries, p, th)
@@ -503,6 +516,7 @@ func Table5(w io.Writer, p Params) error {
 	// self-tuning this implementation adds on top.
 	{
 		pool := dev.Pool()
+		defer exec.CloseLauncher(pool)
 		cfg := core.Config{Device: dev, Pool: pool}
 		bo := block.Defaults(dev)
 		bo.Pool = pool

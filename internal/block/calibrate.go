@@ -5,6 +5,7 @@ import (
 
 	"math/rand"
 
+	"github.com/sss-lab/blocksptrsv/internal/exec"
 	"github.com/sss-lab/blocksptrsv/internal/kernels"
 	"github.com/sss-lab/blocksptrsv/internal/sparse"
 )
@@ -25,6 +26,13 @@ func (s *Solver[T]) CalibrateKernels(repeats int) {
 		repeats = 1
 	}
 	rng := rand.New(rand.NewSource(12345))
+	// Price launch-bound candidates on the launcher actually in use: a
+	// kernel whose launch bill alone (launches × measured per-launch
+	// latency) exceeds the fastest time measured so far cannot win, so it
+	// is skipped without building its auxiliary structures or timing its
+	// repeats — which matters most for level-set on deep blocks, where
+	// timing it would cost nlevels launches per repeat.
+	launchCost := exec.MeasureLaunchCost(s.pool, 32)
 	var w, x []T
 	grow := func(n int) {
 		if len(w) < n {
@@ -39,20 +47,47 @@ func (s *Solver[T]) CalibrateKernels(repeats int) {
 			continue // completely-parallel is already optimal
 		}
 		grow(n)
-		// Ensure every candidate's auxiliary structures exist.
-		if tb.state == nil {
-			tb.state = kernels.NewSyncFreeState(tb.strictCSC)
+		// Levels too narrow to fan out run inline and pay no barrier, so
+		// only wider levels enter a kernel's launch bill. This keeps the
+		// bills lower bounds: pruning on them is conservative.
+		wideLevels := func(width int) int {
+			c := 0
+			for l := 0; l < tb.info.NLevels; l++ {
+				if tb.info.LevelSize(l) >= width {
+					c++
+				}
+			}
+			return c
 		}
-		if tb.strictCSR == nil {
-			tb.strictCSR = tb.strictCSC.ToCSR()
-		}
-		if tb.sched == nil {
-			tb.sched = kernels.NewMergedSchedule(tb.info, 2*s.pool.Workers())
+		bill := map[kernels.TriKernel]time.Duration{
+			kernels.TriSerial:       0,
+			kernels.TriSyncFree:     launchCost, // one persistent launch
+			kernels.TriCuSparseLike: time.Duration(wideLevels(2*s.pool.Workers())) * launchCost,
+			kernels.TriLevelSet:     time.Duration(wideLevels(2)) * launchCost,
 		}
 		best, bestD := tb.kernel, time.Duration(1<<62-1)
+		// Cheapest launch bills first, so the early measurements set the
+		// bar the launch-heavy candidates must clear.
 		for _, k := range []kernels.TriKernel{
-			kernels.TriLevelSet, kernels.TriSyncFree, kernels.TriCuSparseLike, kernels.TriSerial,
+			kernels.TriSerial, kernels.TriSyncFree, kernels.TriCuSparseLike, kernels.TriLevelSet,
 		} {
+			if bill[k] >= bestD {
+				continue
+			}
+			// Build only the structures the candidate actually needs.
+			switch k {
+			case kernels.TriSyncFree:
+				if tb.state == nil {
+					tb.state = kernels.NewSyncFreeState(tb.strictCSC)
+				}
+			case kernels.TriCuSparseLike:
+				if tb.strictCSR == nil {
+					tb.strictCSR = tb.strictCSC.ToCSR()
+				}
+				if tb.sched == nil {
+					tb.sched = kernels.NewMergedSchedule(tb.info, 0, s.pool.Workers())
+				}
+			}
 			d := minTime(repeats, func() {
 				fillRand(rng, w[:n])
 				tb.kernel = k

@@ -43,10 +43,14 @@ func (k Kind) String() string {
 // configuration: recursive partition, level-set reordering, adaptive
 // kernel selection, recursion cut-off tied to the device size.
 type Options struct {
-	// Pool is the execution pool; nil creates one with Workers workers.
+	// Pool is the execution pool; nil creates one with Workers workers
+	// in the Style launch style.
 	Pool exec.Launcher
 	// Workers sizes the pool when Pool is nil; <=0 means GOMAXPROCS.
 	Workers int
+	// Style selects the launcher implementation when Pool is nil. The
+	// zero value is exec.LaunchSpin, the lowest-latency launcher.
+	Style exec.LaunchStyle
 
 	// Kind selects the partition shape.
 	Kind Kind
@@ -94,10 +98,13 @@ type Options struct {
 	Auto bool
 }
 
-// Defaults returns the paper-recommended configuration for a device.
+// Defaults returns the paper-recommended configuration for a device. The
+// pool itself is created lazily (normalised), so overriding Options.Pool
+// before Preprocess never strands a resident-worker pool.
 func Defaults(dev exec.Device) Options {
 	return Options{
-		Pool:         dev.Pool(),
+		Workers:      dev.Workers,
+		Style:        dev.Style,
 		Kind:         Recursive,
 		MinBlockRows: dev.MinBlockRows(),
 		Reorder:      true,
@@ -106,10 +113,13 @@ func Defaults(dev exec.Device) Options {
 	}
 }
 
-// normalised fills derived fields: pool, thresholds, cut-off.
+// normalised fills derived fields: pool, thresholds, cut-off. The default
+// pool is a SpinPool — the lowest-latency launcher — whose idle workers
+// park, so solvers that never Close their implicit pool hold parked
+// goroutines but burn no CPU.
 func (o Options) normalised() Options {
 	if o.Pool == nil {
-		o.Pool = exec.NewPool(o.Workers)
+		o.Pool = exec.NewLauncher(o.Style, o.Workers)
 	}
 	if o.Thresholds == (adapt.Thresholds{}) {
 		o.Thresholds = adapt.DefaultThresholds()

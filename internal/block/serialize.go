@@ -321,7 +321,7 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // given execution pool. The element type must match the one written.
 func ReadSolver[T sparse.Float](r io.Reader, pool exec.Launcher) (*Solver[T], error) {
 	if pool == nil {
-		pool = exec.NewPool(0)
+		pool = exec.NewSpinPool(0)
 	}
 	sr := &serialReader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(serialMagic))

@@ -204,7 +204,7 @@ func buildTriBlock[T sparse.Float](cscAll *sparse.CSC[T], spec segSpec, o Option
 		tb.state = kernels.NewSyncFreeState(strict)
 	case kernels.TriCuSparseLike:
 		tb.strictCSR = strict.ToCSR()
-		tb.sched = kernels.NewMergedSchedule(info, 2*o.Pool.Workers())
+		tb.sched = kernels.NewMergedSchedule(info, 0, o.Pool.Workers())
 	}
 	// level-set keeps info; completely-parallel and serial need nothing.
 	return tb, nil

@@ -77,6 +77,18 @@ func AtomicMaxFloat[T sparse.Float](p *T, v T) {
 	}
 }
 
+// PaddedInt32 is an atomic.Int32 padded out to a 64-byte cache line.
+// Dependency counters that distinct workers decrement concurrently (the
+// sync-free in-degrees, the gather-form ready flags) are stored as one
+// PaddedInt32 each so that a decrement on one counter does not bounce the
+// cache line holding its neighbours between cores — with bare Int32s,
+// sixteen unrelated counters share a line and every atomic op invalidates
+// all of them.
+type PaddedInt32 struct {
+	V atomic.Int32
+	_ [60]byte
+}
+
 // SpinUntilZero busy-waits until the counter reaches zero, the analogue of
 // a sync-free warp spinning on a component's in-degree. It spins a short
 // burst, then yields to the scheduler so that on small pools the goroutine

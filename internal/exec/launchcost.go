@@ -1,0 +1,32 @@
+package exec
+
+import "time"
+
+// MeasureLaunchCost times empty full-width ParallelFor launches on l and
+// returns the best-of-three per-launch latency. The adaptive machinery
+// uses it to price launch-bound schedules — a level-set solve pays one
+// launch per level, a merged schedule one per chunk — against launch-free
+// kernels on the launcher actually in use, instead of assuming a fixed
+// overhead. launches is the number of launches per timing round
+// (non-positive picks 64). The pool's launch counter advances.
+func MeasureLaunchCost(l Launcher, launches int) time.Duration {
+	if launches <= 0 {
+		launches = 64
+	}
+	n := l.Workers()
+	body := func(lo, hi int) {}
+	for i := 0; i < 8; i++ { // warm resident workers out of their parks
+		l.ParallelFor(n, 1, body)
+	}
+	best := time.Duration(1) << 62
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for i := 0; i < launches; i++ {
+			l.ParallelFor(n, 1, body)
+		}
+		if d := time.Since(start) / time.Duration(launches); d < best {
+			best = d
+		}
+	}
+	return best
+}

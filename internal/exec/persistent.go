@@ -89,17 +89,7 @@ func (p *PersistentPool) ParallelFor(n, grain int, body func(lo, hi int)) {
 		panic("exec: ParallelFor on closed PersistentPool")
 	}
 	p.launches.Add(1)
-	if grain <= 0 {
-		grain = n / (p.workers * 8)
-		if grain < 1 {
-			grain = 1
-		}
-	}
-	chunks := (n + grain - 1) / grain
-	nw := p.workers
-	if chunks < nw {
-		nw = chunks
-	}
+	grain, nw := splitWork(n, grain, p.workers)
 	if nw == 1 {
 		body(0, n)
 		return

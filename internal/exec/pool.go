@@ -24,12 +24,17 @@ import (
 // Launcher is the execution interface every kernel runs on: data-parallel
 // launches with a completion barrier (ParallelFor) and persistent-kernel
 // launches (Run). Pool implements it with goroutine-per-launch semantics;
-// PersistentPool with resident workers.
+// PersistentPool with resident workers fed over channels; SpinPool with
+// resident workers driven by an atomic epoch broadcast and a spin barrier
+// (the lowest-latency launch path, and the device default).
 type Launcher interface {
 	// Workers reports the device's worker count.
 	Workers() int
 	// ParallelFor runs body over [0,n) in grain-sized chunks and blocks
 	// until all iterations complete (a kernel launch + global barrier).
+	// Chunks must be independent: a body may not wait on work done by
+	// another chunk of the same launch (launchers are free to run chunks
+	// sequentially on the caller). Cross-worker signalling belongs in Run.
 	ParallelFor(n, grain int, body func(lo, hi int))
 	// Run launches one invocation of body per worker and blocks until all
 	// return (a persistent kernel).
@@ -77,17 +82,7 @@ func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 		return
 	}
 	p.launches.Add(1)
-	if grain <= 0 {
-		grain = n / (p.workers * 8)
-		if grain < 1 {
-			grain = 1
-		}
-	}
-	chunks := (n + grain - 1) / grain
-	nw := p.workers
-	if chunks < nw {
-		nw = chunks
-	}
+	grain, nw := splitWork(n, grain, p.workers)
 	if nw == 1 {
 		body(0, n)
 		return
@@ -137,6 +132,59 @@ func (p *Pool) Run(body func(worker int)) {
 // Sequential reports whether the pool degenerates to serial execution.
 func (p *Pool) Sequential() bool { return p.workers == 1 }
 
+// LaunchStyle selects which Launcher implementation a Device constructs —
+// the CPU analogue of choosing a kernel-launch mechanism. The zero value
+// is LaunchSpin, the lowest-latency path.
+type LaunchStyle int
+
+const (
+	// LaunchSpin selects SpinPool: resident workers, epoch broadcast,
+	// spin barrier. Two atomic ops per worker per launch.
+	LaunchSpin LaunchStyle = iota
+	// LaunchSpawn selects Pool: a goroutine spawn per worker per launch.
+	LaunchSpawn
+	// LaunchChannel selects PersistentPool: resident workers fed over
+	// per-worker channels with a WaitGroup join.
+	LaunchChannel
+)
+
+func (s LaunchStyle) String() string {
+	switch s {
+	case LaunchSpawn:
+		return "spawn"
+	case LaunchChannel:
+		return "channel"
+	default:
+		return "spin"
+	}
+}
+
+// ParseLaunchStyle maps the -launcher flag values to a LaunchStyle.
+func ParseLaunchStyle(s string) (LaunchStyle, error) {
+	switch s {
+	case "spin", "":
+		return LaunchSpin, nil
+	case "spawn":
+		return LaunchSpawn, nil
+	case "channel":
+		return LaunchChannel, nil
+	}
+	return LaunchSpin, fmt.Errorf("exec: unknown launcher style %q (want spin, spawn or channel)", s)
+}
+
+// NewLauncher constructs a launcher of the given style and worker count
+// (non-positive selects GOMAXPROCS).
+func NewLauncher(style LaunchStyle, workers int) Launcher {
+	switch style {
+	case LaunchSpawn:
+		return NewPool(workers)
+	case LaunchChannel:
+		return NewPersistentPool(workers)
+	default:
+		return NewSpinPool(workers)
+	}
+}
+
 // Device is a named execution profile standing in for one of the paper's
 // GPUs (Table 3). Workers plays the role of the CUDA core count; the
 // paper's recursion cut-off "20 × core count" maps to 20 × Workers scaled
@@ -149,10 +197,14 @@ type Device struct {
 	// goroutine workers standing in for thousands of CUDA cores the
 	// factor is correspondingly larger so block sizes stay comparable.
 	BlockFactor int
+	// Style selects the launch mechanism; the zero value is LaunchSpin.
+	Style LaunchStyle
 }
 
-// Pool returns a pool sized for the device.
-func (d Device) Pool() *Pool { return NewPool(d.Workers) }
+// Pool returns a launcher sized for the device in the device's launch
+// style. Spin and channel launchers keep resident workers; callers that
+// create launchers transiently should release them with CloseLauncher.
+func (d Device) Pool() Launcher { return NewLauncher(d.Style, d.Workers) }
 
 // MinBlockRows is the smallest number of rows worth splitting further on
 // this device (§3.4, last paragraph).

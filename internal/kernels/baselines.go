@@ -172,7 +172,7 @@ func NewCuSparseLikeSolver[T sparse.Float](p exec.Launcher, l *sparse.CSR[T]) (*
 		pool:      p,
 		strictCSR: &sparse.CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val},
 		diag:      diag,
-		sched:     NewMergedSchedule(info, 2*p.Workers()),
+		sched:     NewMergedSchedule(info, 0, p.Workers()),
 		info:      info,
 		w:         make([]T, n),
 	}, nil

@@ -99,7 +99,7 @@ func TriSyncFreeSolveBatch[T sparse.Float](p exec.Launcher, state *SyncFreeState
 			if j >= n {
 				return
 			}
-			exec.SpinUntilZero(&state.indeg[j])
+			exec.SpinUntilZero(&state.indeg[j].V)
 			inv := 1 / diag[j]
 			xj := x[j*k : (j+1)*k]
 			wj := w[j*k : (j+1)*k]
@@ -112,7 +112,7 @@ func TriSyncFreeSolveBatch[T sparse.Float](p exec.Launcher, state *SyncFreeState
 				for r := 0; r < k; r++ {
 					exec.AtomicAddFloat(&w[row*k+r], -v*xj[r])
 				}
-				state.indeg[row].Add(-1)
+				state.indeg[row].V.Add(-1)
 			}
 		}
 	})

@@ -58,7 +58,7 @@ func TestTriBatchKernelsMatchSerialBatch(t *testing.T) {
 
 			x = make([]float64, n*k)
 			w = append(w[:0], b...)
-			TriCuSparseLikeSolveBatch(p, NewMergedSchedule(info, 2*workers), strict.ToCSR(), diag, w, x, k)
+			TriCuSparseLikeSolveBatch(p, NewMergedSchedule(info, 0, workers), strict.ToCSR(), diag, w, x, k)
 			check("cusparse-like", x)
 		}
 	}

@@ -29,7 +29,7 @@ func BenchmarkTriKernels(b *testing.B) {
 		}
 		info := levelset.FromLowerCSR(l)
 		strictCSR := strict.ToCSR()
-		sched := NewMergedSchedule(info, 2*pool.Workers())
+		sched := NewMergedSchedule(info, 0, pool.Workers())
 		state := NewSyncFreeState(strict)
 		rhs := gen.RandVec(l.Rows, 7)
 		w := make([]float64, l.Rows)
@@ -48,6 +48,41 @@ func BenchmarkTriKernels(b *testing.B) {
 		run("level-set", func() { TriLevelSetSolve(pool, strict, diag, info, w, x) })
 		run("sync-free", func() { TriSyncFreeSolve(pool, state, strict, diag, w, x) })
 		run("cusparse-like", func() { TriCuSparseLikeSolve(pool, sched, strictCSR, diag, w, x) })
+	}
+}
+
+// BenchmarkLevelSetLauncherStyles isolates what launch latency does to the
+// launch-bound kernels: a deep matrix (4096 levels, tmt_sym-like regime)
+// pays one launch per level under level-set and one per merged row range
+// under cusparse-like, so per-launch cost dominates the solve. Fixed 4
+// workers so the dispatch machinery runs even where GOMAXPROCS is small.
+func BenchmarkLevelSetLauncherStyles(b *testing.B) {
+	l := benchTriMatrix(4096)
+	strict, diag, err := sparse.SplitDiagCSC(l.ToCSC())
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := levelset.FromLowerCSR(l)
+	strictCSR := strict.ToCSR()
+	rhs := gen.RandVec(l.Rows, 7)
+	w := make([]float64, l.Rows)
+	x := make([]float64, l.Rows)
+	for _, style := range []exec.LaunchStyle{exec.LaunchSpawn, exec.LaunchChannel, exec.LaunchSpin} {
+		pool := exec.NewLauncher(style, 4)
+		sched := NewMergedSchedule(info, 0, pool.Workers())
+		b.Run(fmt.Sprintf("level-set/%s", style), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(w, rhs)
+				TriLevelSetSolve(pool, strict, diag, info, w, x)
+			}
+		})
+		b.Run(fmt.Sprintf("cusparse-like/%s", style), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(w, rhs)
+				TriCuSparseLikeSolve(pool, sched, strictCSR, diag, w, x)
+			}
+		})
+		exec.CloseLauncher(pool)
 	}
 }
 

@@ -221,7 +221,7 @@ func TestMergedSchedulePartitionsItems(t *testing.T) {
 		l := randLower(rng, n, 0.08)
 		info := levelset.FromLowerCSR(l)
 		width := 1 + rng.Intn(6)
-		sched := NewMergedSchedule(info, width)
+		sched := NewMergedSchedule(info, width, 0)
 		if sched.chunkPtr[0] != 0 || sched.chunkPtr[len(sched.chunkPtr)-1] != n {
 			t.Fatalf("chunks do not span items: %v (n=%d)", sched.chunkPtr, n)
 		}
@@ -283,7 +283,7 @@ func TestTriKernelsMatchTriSerial(t *testing.T) {
 			check("sync-free", x)
 
 			strictCSR := strictCSC.ToCSR()
-			sched := NewMergedSchedule(info, 2*workers)
+			sched := NewMergedSchedule(info, 0, workers)
 			x = make([]float64, n)
 			w = append(w[:0], b...)
 			TriCuSparseLikeSolve(p, sched, strictCSR, diag, w, x)

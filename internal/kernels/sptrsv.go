@@ -137,9 +137,13 @@ func TriLevelSetSolve[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], di
 
 // SyncFreeState holds the reusable scratch of the sync-free kernel: the
 // per-component dependency counters and their initial values. Allocate once
-// per matrix with NewSyncFreeState and reuse across solves.
+// per matrix with NewSyncFreeState and reuse across solves. The live
+// counters are cache-line-padded — every worker decrements the in-degrees
+// of the rows it updates, and with bare Int32s sixteen counters share a
+// line, so the decrements of unrelated components ping-pong lines between
+// workers. Only base (read-only during solves) stays compact.
 type SyncFreeState struct {
-	indeg []atomic.Int32
+	indeg []exec.PaddedInt32
 	base  []int32
 }
 
@@ -148,7 +152,7 @@ type SyncFreeState struct {
 // preprocessing (Algorithm 3, lines 1–5).
 func NewSyncFreeState[T sparse.Float](strict *sparse.CSC[T]) *SyncFreeState {
 	n := strict.Cols
-	s := &SyncFreeState{indeg: make([]atomic.Int32, n), base: make([]int32, n)}
+	s := &SyncFreeState{indeg: make([]exec.PaddedInt32, n), base: make([]int32, n)}
 	for _, r := range strict.RowIdx {
 		s.base[r]++
 	}
@@ -158,7 +162,7 @@ func NewSyncFreeState[T sparse.Float](strict *sparse.CSC[T]) *SyncFreeState {
 // reset rearms the counters for a fresh solve.
 func (s *SyncFreeState) reset() {
 	for i := range s.base {
-		s.indeg[i].Store(s.base[i])
+		s.indeg[i].V.Store(s.base[i])
 	}
 }
 
@@ -185,13 +189,13 @@ func TriSyncFreeSolve[T sparse.Float](p exec.Launcher, state *SyncFreeState, str
 			if j >= n {
 				return
 			}
-			exec.SpinUntilZero(&state.indeg[j])
+			exec.SpinUntilZero(&state.indeg[j].V)
 			xj := w[j] / diag[j]
 			x[j] = xj
 			for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
 				r := strict.RowIdx[k]
 				exec.AtomicAddFloat(&w[r], -strict.Val[k]*xj)
-				state.indeg[r].Add(-1)
+				state.indeg[r].V.Add(-1)
 			}
 		}
 	})
@@ -212,11 +216,17 @@ type MergedSchedule struct {
 
 // NewMergedSchedule builds the schedule. Levels narrower than
 // serialWidth are fused; a non-positive serialWidth defaults to 2× the
-// pool's worker count, below which a parallel launch cannot pay for its
-// barrier.
-func NewMergedSchedule(info *levelset.Info, serialWidth int) *MergedSchedule {
+// worker count of the pool the schedule will run on, below which a
+// parallel launch cannot pay for its barrier (callers pass
+// p.Workers(); a non-positive workers falls back to width 2, the
+// narrowest level that could parallelise at all).
+func NewMergedSchedule(info *levelset.Info, serialWidth, workers int) *MergedSchedule {
 	if serialWidth <= 0 {
-		serialWidth = 2
+		if workers > 0 {
+			serialWidth = 2 * workers
+		} else {
+			serialWidth = 2
+		}
 	}
 	s := &MergedSchedule{items: append([]int(nil), info.LevelItem...)}
 	s.chunkPtr = append(s.chunkPtr, 0)
@@ -257,7 +267,7 @@ func (s *SyncFreeState) BaseCounts() []int32 { return s.base }
 // NewSyncFreeStateFromCounts rebuilds sync-free state from serialised
 // in-degrees.
 func NewSyncFreeStateFromCounts(base []int32) *SyncFreeState {
-	return &SyncFreeState{indeg: make([]atomic.Int32, len(base)), base: base}
+	return &SyncFreeState{indeg: make([]exec.PaddedInt32, len(base)), base: base}
 }
 
 // SerialChunks reports how many launches are fused serial chunks.

@@ -17,11 +17,14 @@ import (
 // Its selling point is the near-free preprocessing: no transpose to CSC
 // and no in-degree pass — only a flag array — which makes it the
 // lowest-analysis-cost entry in the whole registry.
+// Ready flags are cache-line-padded: every worker publishes and polls
+// flags of neighbouring rows, and unpadded flags share lines, turning
+// each publish into an invalidation of fifteen unrelated spin targets.
 type SyncFreeCSRSolver[T sparse.Float] struct {
 	pool      exec.Launcher
 	strictCSR *sparse.CSR[T]
 	diag      []T
-	ready     []atomic.Int32
+	ready     []exec.PaddedInt32
 }
 
 // NewSyncFreeCSRSolver validates L and splits the strictly-lower CSR part.
@@ -47,7 +50,7 @@ func NewSyncFreeCSRSolver[T sparse.Float](p exec.Launcher, l *sparse.CSR[T]) (*S
 		pool:      p,
 		strictCSR: &sparse.CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val},
 		diag:      diag,
-		ready:     make([]atomic.Int32, n),
+		ready:     make([]exec.PaddedInt32, n),
 	}, nil
 }
 
@@ -65,7 +68,7 @@ func (s *SyncFreeCSRSolver[T]) Solve(b, x []T) {
 	// Re-arm the flags. A parallel pass keeps this O(n/workers).
 	s.pool.ParallelFor(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			s.ready[i].Store(0)
+			s.ready[i].V.Store(0)
 		}
 	})
 	var next atomic.Int64
@@ -81,11 +84,11 @@ func (s *SyncFreeCSRSolver[T]) Solve(b, x []T) {
 				j := a.ColIdx[k]
 				// Acquire: the flag store in the producing worker
 				// happens-before this load, which orders the x[j] read.
-				exec.SpinUntilNonZero(&s.ready[j])
+				exec.SpinUntilNonZero(&s.ready[j].V)
 				sum -= a.Val[k] * x[j]
 			}
 			x[i] = sum / s.diag[i]
-			s.ready[i].Store(1)
+			s.ready[i].V.Store(1)
 		}
 	})
 }

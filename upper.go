@@ -75,14 +75,14 @@ func MatVec[T Float](m *Matrix[T], x, y []T) {
 	kernels.Multiply(matVecPool, m, x, y)
 }
 
-var matVecPool = exec.NewPool(0)
+var matVecPool = exec.NewSpinPool(0)
 
 // LoadSolver reloads a Solver previously serialised with Solver.WriteTo,
 // binding it to a pool of the given size (<=0 = GOMAXPROCS). The stored
 // analysis — permutation, blocks, kernel choices — is reused verbatim, so
 // the preprocessing cost is paid once across program runs.
 func LoadSolver[T Float](r io.Reader, workers int) (*Solver[T], error) {
-	return block.ReadSolver[T](r, exec.NewPool(workers))
+	return block.ReadSolver[T](r, exec.NewSpinPool(workers))
 }
 
 // TuneThresholds runs a reduced kernel-selection sweep (Figure 5 of the
@@ -93,5 +93,7 @@ func TuneThresholds(workers, blockRows int) Thresholds {
 	if blockRows <= 0 {
 		blockRows = 20000
 	}
-	return adapt.QuickFit(exec.NewPool(workers), blockRows, 3, 7001)
+	pool := exec.NewSpinPool(workers)
+	defer pool.Close()
+	return adapt.QuickFit(pool, blockRows, 3, 7001)
 }
