@@ -1,13 +1,13 @@
 # Development targets. `make ci` is the gate every change must pass: vet,
-# full build, full test suite, and the race detector on the three packages
-# that exercise the lock-free machinery (spin-barrier pool, sync-free
-# kernels, block solver).
+# full build, full test suite, the race detector on the four packages that
+# exercise the lock-free machinery (spin-barrier pool, sync-free kernels,
+# block solver, registry), and the tagged fault-injection chaos suite.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-launch
+.PHONY: ci vet build test race chaos bench-launch
 
-ci: vet build test race
+ci: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exec ./internal/kernels ./internal/block
+	$(GO) test -race ./internal/exec ./internal/kernels ./internal/block ./internal/core
+
+# Fault-injection chaos suite: hooks compiled in under the faultinject tag
+# drive panics, in-degree corruption, solution poisoning and worker delays
+# through the guarded solve path.
+chaos:
+	$(GO) test -tags faultinject ./internal/faultinject ./internal/block ./internal/kernels
 
 # Launch-latency microbenchmarks: the three launcher styles head to head.
 bench-launch:

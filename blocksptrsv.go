@@ -105,6 +105,46 @@ const (
 // partition (the paper's Tables 1 and 2).
 type Traffic = block.Traffic
 
+// SolveStats are a solver's (or session's) instrumentation counters,
+// including the guarded path's recovery counts: Refinements tallies
+// solves that needed an iterative-refinement step, Fallbacks solves that
+// fell back to the serial reference (see Options.VerifyResidual).
+type SolveStats = block.SolveStats
+
+// Typed errors of the guarded solve path. Validation failures surface at
+// Analyze time when Options.Validate is set; StallError and ResidualError
+// come out of SolveContext.
+var (
+	// ErrSingular matches any zero-or-missing-diagonal failure:
+	// errors.Is(err, ErrSingular) is true for ErrZeroDiagonal too.
+	ErrSingular = sparse.ErrSingular
+	// ErrNotTriangular reports an entry on the wrong side of the diagonal.
+	ErrNotTriangular = sparse.ErrNotTriangular
+)
+
+// ErrZeroDiagonal pinpoints the row whose diagonal is missing or exactly
+// zero. It satisfies errors.Is(err, ErrSingular).
+type ErrZeroDiagonal = sparse.ErrZeroDiagonal
+
+// ErrNonFinite pinpoints a stored NaN or Inf value by (row, column).
+type ErrNonFinite = sparse.ErrNonFinite
+
+// StallError reports a SolveContext aborted by the stall watchdog
+// (Options.StallTimeout), carrying the stalled component and its
+// unresolved dependency count when known.
+type StallError = block.StallError
+
+// ResidualError reports a SolveContext whose solution missed
+// Options.VerifyResidual even after refinement and the serial fallback.
+type ResidualError = block.ResidualError
+
+// Validate runs the defensive input sweep of the guarded path on any
+// matrix: structural invariants (sorted, in-bounds indices) plus a
+// numerical sweep rejecting NaN/Inf. Triangular systems get the same
+// checks plus diagonal/shape validation automatically at Analyze /
+// AnalyzeUpper time when Options.Validate is set.
+func Validate[T Float](m *Matrix[T]) error { return sparse.Validate(m) }
+
 // BaselineSolver is the interface satisfied by every solver in the
 // library, including the baselines returned by NewSolver.
 type BaselineSolver[T Float] = core.Solver[T]

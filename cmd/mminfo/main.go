@@ -6,9 +6,11 @@
 // Usage:
 //
 //	mminfo matrix1.mtx [matrix2.mtx ...]
+//	mminfo -check matrix.mtx    # validate instead: report the first defect
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,19 +21,67 @@ import (
 )
 
 func main() {
+	check := flag.Bool("check", false, "validate each matrix (structure, finite values, nonzero lower-triangular diagonal) and report the first defect with its coordinates")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mminfo <file.mtx> ...")
+		fmt.Fprintln(os.Stderr, "usage: mminfo [-check] <file.mtx> ...")
 		os.Exit(2)
 	}
 	status := 0
 	for _, path := range flag.Args() {
-		if err := report(path); err != nil {
+		run := report
+		if *check {
+			run = validate
+		}
+		if err := run(path); err != nil {
 			fmt.Fprintf(os.Stderr, "mminfo: %s: %v\n", path, err)
 			status = 1
 		}
 	}
 	os.Exit(status)
+}
+
+// validate runs the guarded path's analyze-time checks and renders the
+// first defect with its coordinates, so a bad matrix is diagnosed before
+// it reaches a solver.
+func validate(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := sparse.ReadMatrixMarket[float64](f)
+	if err != nil {
+		return err
+	}
+	if err := sparse.Validate(m); err != nil {
+		return describeDefect(err)
+	}
+	fmt.Printf("%s: structure and values ok (%d x %d, %d nonzeros)\n", path, m.Rows, m.Cols, m.NNZ())
+	if m.Rows != m.Cols {
+		fmt.Println("  not square: triangular checks skipped")
+		return nil
+	}
+	if err := sparse.ValidateLower(m); err == nil {
+		fmt.Println("  solvable as a lower-triangular system")
+	} else if uerr := sparse.ValidateUpper(m); uerr == nil {
+		fmt.Println("  solvable as an upper-triangular system")
+	} else {
+		fmt.Printf("  not directly solvable: as lower: %v; as upper: %v\n", err, uerr)
+	}
+	return nil
+}
+
+func describeDefect(err error) error {
+	var nf sparse.ErrNonFinite
+	if errors.As(err, &nf) {
+		return fmt.Errorf("non-finite value at row %d, column %d", nf.Row, nf.Col)
+	}
+	var zd sparse.ErrZeroDiagonal
+	if errors.As(err, &zd) {
+		return fmt.Errorf("zero or missing diagonal at row %d", zd.Row)
+	}
+	return err
 }
 
 func report(path string) error {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,18 @@ import (
 
 	sptrsv "github.com/sss-lab/blocksptrsv"
 )
+
+// guardOptions arms the guarded solve path on opts for the -verify flag:
+// analyze-time validation, per-solve residual checks with one refinement
+// step, serial fallback as the last rung.
+func guardOptions(opts *sptrsv.Options, tol float64) {
+	if tol <= 0 {
+		return
+	}
+	opts.Validate = true
+	opts.VerifyResidual = tol
+	opts.Refine = true
+}
 
 func main() {
 	var (
@@ -36,6 +49,7 @@ func main() {
 		saveA      = flag.String("save-analysis", "", "save the block solver's preprocessing to this file (block-recursive only)")
 		loadA      = flag.String("load-analysis", "", "reuse preprocessing from this file instead of analysing")
 		thresholds = flag.String("thresholds", "", "JSON file with fitted kernel-selection thresholds (see sptrsvtune); block algorithms only")
+		verify     = flag.Float64("verify", 0, "residual tolerance for the guarded solve path: validate the input, check every solution, refine or fall back to the serial reference on failure (block-recursive only; 0 = off)")
 	)
 	flag.Parse()
 	if *matrixPath == "" {
@@ -64,8 +78,12 @@ func main() {
 
 	t0 := time.Now()
 	var s sptrsv.BaselineSolver[float64]
+	var guarded *sptrsv.Solver[float64] // set when -verify routes solves through SolveContext
 	switch {
 	case *loadA != "":
+		if *verify > 0 {
+			fatalIf(fmt.Errorf("-verify needs the original matrix and cannot be combined with -load-analysis"))
+		}
 		f, err := os.Open(*loadA)
 		fatalIf(err)
 		blockSolver, err := sptrsv.LoadSolver[float64](f, *workers)
@@ -84,10 +102,24 @@ func main() {
 		fatalIf(err)
 		opts := sptrsv.DefaultOptions(*workers)
 		fatalIf(json.Unmarshal(data, &opts.Thresholds))
+		guardOptions(&opts, *verify)
 		blockSolver, err := sptrsv.Analyze(l, opts)
 		fatalIf(err)
 		s = blockSolver
+		if *verify > 0 {
+			guarded = blockSolver
+		}
 		fmt.Printf("preprocessing (block-recursive, fitted thresholds): %v\n", time.Since(t0).Round(time.Microsecond))
+	case *verify > 0:
+		if *algo != "block-recursive" {
+			fatalIf(fmt.Errorf("-verify applies to block-recursive, got %s", *algo))
+		}
+		opts := sptrsv.DefaultOptions(*workers)
+		guardOptions(&opts, *verify)
+		blockSolver, err := sptrsv.Analyze(l, opts)
+		fatalIf(err)
+		s, guarded = blockSolver, blockSolver
+		fmt.Printf("preprocessing (block-recursive, validated): %v\n", time.Since(t0).Round(time.Microsecond))
 	default:
 		var err error
 		s, err = sptrsv.NewSolver(*algo, l, *workers)
@@ -109,14 +141,25 @@ func main() {
 
 	x := make([]float64, l.Rows)
 	t0 = time.Now()
-	for i := 0; i < *iters; i++ {
-		s.Solve(b, x)
+	if guarded != nil {
+		for i := 0; i < *iters; i++ {
+			fatalIf(guarded.SolveContext(context.Background(), b, x))
+		}
+	} else {
+		for i := 0; i < *iters; i++ {
+			s.Solve(b, x)
+		}
 	}
 	total := time.Since(t0)
 	per := total / time.Duration(*iters)
 	fmt.Printf("solve: %v per solve (%d solves, %v total)\n", per.Round(time.Microsecond), *iters, total.Round(time.Microsecond))
 	fmt.Printf("throughput: %.3f GFlops\n", 2*float64(l.NNZ())/per.Seconds()/1e9)
 	fmt.Printf("residual: %.3e\n", sptrsv.Residual(l, x, b))
+	if guarded != nil {
+		st := guarded.Stats()
+		fmt.Printf("verification: tolerance %.1e, %d refinements, %d serial fallbacks\n",
+			*verify, st.Refinements, st.Fallbacks)
+	}
 
 	if *outPath != "" {
 		fatalIf(writeVector(*outPath, x))

@@ -1,0 +1,315 @@
+package block
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/faultinject"
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// The guarded solve path: SolveContext runs the same block schedule as
+// Solve, but threads an exec.Guard through every kernel barrier and
+// busy-wait so the solve can be cancelled (context), aborted on stall
+// (watchdog), and verified (residual ladder). Plain Solve shares none of
+// this machinery and stays exactly as fast as before.
+
+// StallError reports a solve the watchdog aborted because its progress
+// counter stopped moving. When a sync-free worker was mid-busy-wait at
+// abort time, Row/InDegree identify the head of the stalled dependency
+// chain — the component whose dependencies never resolved, and how many
+// were still outstanding.
+type StallError struct {
+	Timeout  time.Duration // the armed Options.StallTimeout
+	Progress int64         // work items completed before the stall
+	Row      int           // stalled component (block-local), valid when HasRow
+	InDegree int32         // its unresolved dependency count, valid when HasRow
+	HasRow   bool
+}
+
+func (e *StallError) Error() string {
+	if e.HasRow {
+		return fmt.Sprintf("block: solve stalled for %v after %d steps: component %d still waiting on %d dependencies",
+			e.Timeout, e.Progress, e.Row, e.InDegree)
+	}
+	return fmt.Sprintf("block: solve stalled for %v after %d steps", e.Timeout, e.Progress)
+}
+
+// ResidualError reports a solution that missed Options.VerifyResidual even
+// after every recovery rung (refinement, serial fallback) had its turn.
+type ResidualError struct {
+	Residual float64 // scaled infinity-norm residual of the final solution
+	Tol      float64 // the tolerance it missed
+}
+
+func (e *ResidualError) Error() string {
+	return fmt.Sprintf("block: residual %.3e exceeds tolerance %.3e after fallback", e.Residual, e.Tol)
+}
+
+// errStalled is the watchdog's internal trip cause; guardCause swaps it
+// for a StallError enriched with the guard's diagnostics.
+var errStalled = errors.New("block: watchdog: progress counter stalled")
+
+// guardScratch holds the lazily allocated vectors of the verification
+// ladder (residual and correction). Solver and each Session own one, so
+// sessions verify concurrently without sharing.
+type guardScratch[T sparse.Float] struct {
+	r, d []T
+}
+
+func (gs *guardScratch[T]) grow(n int) {
+	if len(gs.r) < n {
+		gs.r = make([]T, n)
+		gs.d = make([]T, n)
+	}
+}
+
+// SolveContext computes x with L·x = b like Solve, with the guarded
+// extras selected by ctx and the solver's Options:
+//
+//   - ctx cancellation propagates into the kernels' spin loops and level
+//     barriers; the error is ctx.Err().
+//   - Options.StallTimeout arms a watchdog that aborts a solve whose
+//     progress counter stops moving and returns a *StallError with the
+//     stalled component.
+//   - Options.VerifyResidual > 0 checks the solution and degrades
+//     gracefully: one refinement step (Options.Refine), then the serial
+//     reference; a *ResidualError is returned only if even the fallback
+//     misses the tolerance.
+//
+// A panicking kernel body still panics out of SolveContext (after the
+// pool has restored itself — the pool stays usable); panics are
+// programming errors, not solve outcomes. Like Solve, SolveContext is not
+// safe for concurrent use on the same Solver; use sessions.
+func (s *Solver[T]) SolveContext(ctx context.Context, b, x []T) error {
+	return s.solveContextWith(ctx, b, x, s.wp, s.xp, nil, &s.gs, &s.stats)
+}
+
+// SolveContext is the session counterpart of Solver.SolveContext:
+// the same guarantees, private scratch, concurrency-safe across sessions.
+func (ses *Session[T]) SolveContext(ctx context.Context, b, x []T) error {
+	return ses.s.solveContextWith(ctx, b, x, ses.wp, ses.xp, ses.states, &ses.gs, &ses.stats)
+}
+
+func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch []T, states []*kernels.SyncFreeState, gs *guardScratch[T], stats *SolveStats) error {
+	if len(b) != s.n || len(x) != s.n {
+		return fmt.Errorf("block: SolveContext got len(b)=%d len(x)=%d want %d", len(b), len(x), s.n)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	g := exec.NewGuard()
+	stop := make(chan struct{})
+	var watchers sync.WaitGroup
+	if ctx.Done() != nil {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			select {
+			case <-ctx.Done():
+				g.Trip(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
+	if s.opts.StallTimeout > 0 {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			watchdog(g, s.opts.StallTimeout, stop)
+		}()
+	}
+	// Stop the watchers before returning — and before a kernel panic
+	// unwinds further, so no watchdog outlives its solve.
+	defer func() {
+		close(stop)
+		watchers.Wait()
+	}()
+
+	xp := x
+	if s.perm != nil {
+		sparse.PermuteVecInto(w, b, s.perm)
+		xp = xpScratch
+	} else {
+		copy(w, b)
+	}
+	if !s.solveStepsGuarded(w, xp, states, g, stats) {
+		return s.guardCause(g)
+	}
+	if faultinject.Enabled {
+		if row, v, ok := faultinject.Poison("solution"); ok && row < len(xp) {
+			xp[row] = T(v)
+		}
+	}
+	if s.perm != nil {
+		sparse.UnpermuteVecInto(x, xp, s.perm)
+	}
+	stats.Solves++
+	if s.opts.VerifyResidual > 0 {
+		return s.verifyAndRecover(b, x, w, xpScratch, states, gs, stats)
+	}
+	return nil
+}
+
+// solveStepsGuarded mirrors solveSteps with a guard check between blocks
+// and guarded kernels inside them. It reports whether the schedule ran to
+// completion; on false the guard holds the cause.
+func (s *Solver[T]) solveStepsGuarded(w, xp []T, states []*kernels.SyncFreeState, g *exec.Guard, stats *SolveStats) bool {
+	for _, st := range s.steps {
+		if g.Tripped() {
+			return false
+		}
+		var t0 time.Time
+		if s.opts.Instrument {
+			t0 = time.Now()
+		}
+		if st.kind == triSeg {
+			if faultinject.Enabled {
+				faultinject.PanicAt("tri-block", st.idx)
+			}
+			tb := &s.tris[st.idx]
+			if !s.solveTriGuarded(tb, w[tb.lo:tb.hi], xp[tb.lo:tb.hi], stateFor(states, st.idx, tb), g) {
+				return false
+			}
+			if s.opts.Instrument {
+				stats.TriTime += time.Since(t0)
+				stats.TriCalls++
+			}
+		} else {
+			sb := &s.sqs[st.idx]
+			kernels.RunSpMV(s.pool, sb.kernel, sb.csr, sb.dcsr,
+				xp[sb.spec.colLo:sb.spec.colHi], w[sb.spec.rowLo:sb.spec.rowHi])
+			g.Step()
+			if s.opts.Instrument {
+				stats.SpMVTime += time.Since(t0)
+				stats.SpMVCalls++
+			}
+		}
+	}
+	return !g.Tripped()
+}
+
+func (s *Solver[T]) solveTriGuarded(tb *triBlock[T], w, x []T, state *kernels.SyncFreeState, g *exec.Guard) bool {
+	switch tb.kernel {
+	case kernels.TriCompletelyParallel:
+		// No internal waits to guard; one launch, then one progress step.
+		kernels.TriDiagOnlySolve(s.pool, tb.diag, w, x)
+		g.Step()
+		return true
+	case kernels.TriLevelSet:
+		return kernels.TriLevelSetSolveGuarded(s.pool, tb.strictCSC, tb.diag, tb.info, w, x, g)
+	case kernels.TriSyncFree:
+		return kernels.TriSyncFreeSolveGuarded(s.pool, state, tb.strictCSC, tb.diag, w, x, g)
+	case kernels.TriCuSparseLike:
+		return kernels.TriCuSparseLikeSolveGuarded(s.pool, tb.sched, tb.strictCSR, tb.diag, w, x, g)
+	case kernels.TriSerial:
+		kernels.TriSerialSolve(tb.strictCSC, tb.diag, w, x)
+		g.Step()
+		return true
+	default:
+		panic(fmt.Sprintf("block: unresolved tri kernel %v", tb.kernel))
+	}
+}
+
+// guardCause converts the guard's trip cause into the caller-facing
+// error, enriching the watchdog's sentinel with the stall diagnostics the
+// workers recorded on their way out.
+func (s *Solver[T]) guardCause(g *exec.Guard) error {
+	err := g.Cause()
+	if !errors.Is(err, errStalled) {
+		return err
+	}
+	se := &StallError{Timeout: s.opts.StallTimeout, Progress: g.Progress()}
+	if row, indeg, ok := g.Stall(); ok {
+		se.Row, se.InDegree, se.HasRow = row, indeg, true
+	}
+	return se
+}
+
+// watchdog trips the guard when the progress counter stops moving for
+// timeout. It polls at timeout/8 so a stall is detected within at most
+// 9/8·timeout of its onset.
+func watchdog(g *exec.Guard, timeout time.Duration, stop <-chan struct{}) {
+	tick := timeout / 8
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	last := g.Progress()
+	lastMove := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if cur := g.Progress(); cur != last {
+				last = cur
+				lastMove = time.Now()
+				continue
+			}
+			if time.Since(lastMove) >= timeout {
+				g.Trip(errStalled)
+				return
+			}
+		}
+	}
+}
+
+// verifyAndRecover is the graceful-degradation ladder: check the scaled
+// residual, take one refinement step if allowed, fall back to the serial
+// reference, and only then give up with a ResidualError. The recovery
+// counters land in stats.
+func (s *Solver[T]) verifyAndRecover(b, x []T, w, xpScratch []T, states []*kernels.SyncFreeState, gs *guardScratch[T], stats *SolveStats) error {
+	if s.orig == nil {
+		return errors.New("block: VerifyResidual needs the original matrix, which a deserialised solver does not retain")
+	}
+	tol := s.opts.VerifyResidual
+	if sparse.ScaledResidual(s.orig, x, b) <= tol {
+		return nil
+	}
+	if s.opts.Refine {
+		// One iterative-refinement step: r = b − L·x, solve L·δ = r,
+		// x += δ. The parallel path may have produced garbage (it just
+		// failed verification), but the correction reuses it anyway —
+		// when the failure was mild rounding, one step recovers it.
+		gs.grow(s.n)
+		s.residualInto(gs.r, b, x)
+		s.solveWith(gs.r, gs.d, w, xpScratch, states, stats)
+		for i := range x {
+			x[i] += gs.d[i]
+		}
+		stats.Refinements++
+		if sparse.ScaledResidual(s.orig, x, b) <= tol {
+			return nil
+		}
+	}
+	// Last rung: the serial reference on the untouched original matrix.
+	kernels.SerialSolveCSR(s.orig, b, x)
+	stats.Fallbacks++
+	if res := sparse.ScaledResidual(s.orig, x, b); res > tol {
+		return &ResidualError{Residual: res, Tol: tol}
+	}
+	return nil
+}
+
+// residualInto computes r = b − L·x on the original (unpermuted) matrix.
+func (s *Solver[T]) residualInto(r, b, x []T) {
+	l := s.orig
+	for i := 0; i < l.Rows; i++ {
+		sum := b[i]
+		for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+			sum -= l.Val[k] * x[l.ColIdx[k]]
+		}
+		r[i] = sum
+	}
+}

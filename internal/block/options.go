@@ -6,6 +6,8 @@
 package block
 
 import (
+	"time"
+
 	"github.com/sss-lab/blocksptrsv/internal/adapt"
 	"github.com/sss-lab/blocksptrsv/internal/exec"
 	"github.com/sss-lab/blocksptrsv/internal/kernels"
@@ -83,6 +85,29 @@ type Options struct {
 	// phases (Figure 4's measurement). It adds two clock reads per
 	// segment per solve.
 	Instrument bool
+
+	// Validate runs sparse.ValidateLower on the input at preprocessing
+	// time: sorted in-bounds indices, finite values, a present nonzero
+	// diagonal. Defects surface as typed errors (sparse.ErrZeroDiagonal,
+	// sparse.ErrNonFinite, sparse.ErrNotTriangular) instead of NaN
+	// solutions or hangs later. One O(nnz) sweep, preprocessing only.
+	Validate bool
+	// VerifyResidual, when > 0, makes SolveContext check the solution's
+	// scaled infinity-norm residual max_i |(L·x-b)_i|/(1+|b_i|) against
+	// this tolerance. On failure the solve degrades gracefully: one
+	// iterative-refinement step if Refine is set, then the serial
+	// reference fallback; if even that misses the tolerance, a
+	// ResidualError is returned. Plain Solve never verifies.
+	VerifyResidual float64
+	// Refine enables the single iterative-refinement step of the
+	// verification ladder (solve L·δ = b−L·x, add δ) before falling back
+	// to the serial reference. Only consulted when VerifyResidual > 0.
+	Refine bool
+	// StallTimeout arms SolveContext's watchdog: a solve whose progress
+	// counter stops moving for this long is aborted with a StallError
+	// carrying the stalled component and its remaining dependency count.
+	// Zero disables the watchdog. Plain Solve is never watched.
+	StallTimeout time.Duration
 
 	// Calibrate replaces threshold-based kernel selection with per-block
 	// measurements after preprocessing: every applicable kernel is timed

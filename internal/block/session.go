@@ -20,6 +20,7 @@ type Session[T sparse.Float] struct {
 	// states[i] is the private sync-free state of triangular block i, or
 	// nil when block i's kernel needs no mutable state.
 	states []*kernels.SyncFreeState
+	gs     guardScratch[T]
 	stats  SolveStats
 }
 

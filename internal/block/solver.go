@@ -31,6 +31,11 @@ type SolveStats struct {
 	TriCalls  int64
 	SpMVCalls int64
 	Solves    int64
+	// Refinements and Fallbacks count SolveContext recoveries: solves
+	// that needed an iterative-refinement step, and solves that fell all
+	// the way back to the serial reference (see Options.VerifyResidual).
+	Refinements int64
+	Fallbacks   int64
 }
 
 // triBlock is a preprocessed triangular diagonal block: strictly-lower
@@ -71,11 +76,13 @@ type Solver[T sparse.Float] struct {
 	opts     Options
 	pool     exec.Launcher
 	perm     []int // newIdx[original] = permuted position; nil without reorder
+	orig     *sparse.CSR[T] // caller's matrix, for residual checks and fallback; nil when deserialised
 	tris     []triBlock[T]
 	sqs      []sqBlock[T]
 	steps    []planStep
 	wp, xp   []T
 	wbp, xbp []T // lazily grown scratch of SolveBatch
+	gs       guardScratch[T]
 	traffic  Traffic
 	stats    SolveStats
 	sqNNZ    int
@@ -88,11 +95,16 @@ type Solver[T sparse.Float] struct {
 // with separated diagonals, CSR/DCSR squares) and kernel selection.
 func Preprocess[T sparse.Float](l *sparse.CSR[T], opts Options) (*Solver[T], error) {
 	o := opts.normalised()
+	if o.Validate {
+		if err := sparse.ValidateLower(l); err != nil {
+			return nil, err
+		}
+	}
 	if err := sparse.CheckLowerSolvable(l); err != nil {
 		return nil, err
 	}
 	n := l.Rows
-	s := &Solver[T]{n: n, opts: o, pool: o.Pool}
+	s := &Solver[T]{n: n, opts: o, pool: o.Pool, orig: l}
 
 	plan := buildPlan(n, o)
 	if err := planChecks(n, plan); err != nil {

@@ -171,6 +171,100 @@ func TestLauncherUseAfterClose(t *testing.T) {
 	}
 }
 
+// A panic in a ParallelFor body must re-raise on the launching goroutine
+// with the original panic value, and the pool — resident workers included —
+// must stay fully usable afterwards. Three rounds prove the barrier and
+// epoch state are restored, not merely survived once.
+func TestLauncherParallelForPanicPropagates(t *testing.T) {
+	for _, c := range launcherCases() {
+		t.Run(c.style.String(), func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				l := c.make(workers)
+				for round := 0; round < 3; round++ {
+					got := capturePanic(func() {
+						l.ParallelFor(100, 1, func(lo, hi int) {
+							if lo <= 37 && 37 < hi {
+								panic("kernel body boom")
+							}
+						})
+					})
+					if got != "kernel body boom" {
+						t.Fatalf("workers=%d round %d: panic value %v", workers, round, got)
+					}
+					// Follow-up launch on the same pool must work: no
+					// stranded workers, no corrupted barrier.
+					var sum atomic.Int64
+					l.ParallelFor(1000, 0, func(lo, hi int) {
+						var local int64
+						for i := lo; i < hi; i++ {
+							local += int64(i)
+						}
+						sum.Add(local)
+					})
+					if want := int64(1000) * 999 / 2; sum.Load() != want {
+						t.Fatalf("workers=%d round %d: follow-up sum %d want %d", workers, round, sum.Load(), want)
+					}
+				}
+				CloseLauncher(l)
+			}
+		})
+	}
+}
+
+// The Run (persistent-kernel) path must propagate panics from resident
+// workers and from the launching goroutine's own share alike.
+func TestLauncherRunPanicPropagates(t *testing.T) {
+	for _, c := range launcherCases() {
+		t.Run(c.style.String(), func(t *testing.T) {
+			l := c.make(4)
+			defer CloseLauncher(l)
+			for _, victim := range []int{0, 1} { // launcher share, resident worker
+				got := capturePanic(func() {
+					l.Run(func(w int) {
+						if w == victim {
+							panic(fmt.Sprintf("worker %d boom", victim))
+						}
+					})
+				})
+				if got != fmt.Sprintf("worker %d boom", victim) {
+					t.Fatalf("victim %d: panic value %v", victim, got)
+				}
+				var ran atomic.Int32
+				l.Run(func(w int) { ran.Add(1) })
+				if ran.Load() != 4 {
+					t.Fatalf("victim %d: follow-up Run saw %d workers", victim, ran.Load())
+				}
+			}
+		})
+	}
+}
+
+// Concurrent panics: only one value propagates, none leak into later
+// launches.
+func TestLauncherPanicFirstWinsAndClears(t *testing.T) {
+	for _, c := range launcherCases() {
+		t.Run(c.style.String(), func(t *testing.T) {
+			l := c.make(4)
+			defer CloseLauncher(l)
+			got := capturePanic(func() {
+				l.Run(func(w int) { panic(w) })
+			})
+			if _, ok := got.(int); !ok {
+				t.Fatalf("panic value %v (%T), want a worker id", got, got)
+			}
+			if again := capturePanic(func() { l.ParallelFor(16, 1, func(lo, hi int) {}) }); again != nil {
+				t.Fatalf("stale panic leaked into clean launch: %v", again)
+			}
+		})
+	}
+}
+
+func capturePanic(f func()) (r any) {
+	defer func() { r = recover() }()
+	f()
+	return nil
+}
+
 // All launchers must agree on results (same reduction over the same range)
 // so kernels can switch styles without renumbering anything.
 func TestLaunchersAgree(t *testing.T) {

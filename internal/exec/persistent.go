@@ -33,6 +33,7 @@ type job struct {
 	grain int
 	next  *atomic.Int64
 	done  *sync.WaitGroup
+	pan   *panicBox
 }
 
 // NewPersistentPool starts workers resident goroutines. The pool must be
@@ -50,23 +51,31 @@ func NewPersistentPool(workers int) *PersistentPool {
 
 func (p *PersistentPool) worker(id int) {
 	for j := range p.jobs[id] {
-		if j.n < 0 { // Run-style: body receives the worker id
-			j.body(id, id)
-			j.done.Done()
-			continue
+		p.execute(j, id)
+	}
+}
+
+// execute runs one job on a resident worker. A panic in the body is
+// captured into the job's panic box (first one wins) and the completion
+// signal still fires, so the worker goroutine and the launch barrier both
+// survive a panicking kernel body.
+func (p *PersistentPool) execute(j job, id int) {
+	defer j.done.Done()
+	defer j.pan.Recover()
+	if j.n < 0 { // Run-style: body receives the worker id
+		j.body(id, id)
+		return
+	}
+	for {
+		lo := int(j.next.Add(int64(j.grain))) - j.grain
+		if lo >= j.n {
+			return
 		}
-		for {
-			lo := int(j.next.Add(int64(j.grain))) - j.grain
-			if lo >= j.n {
-				break
-			}
-			hi := lo + j.grain
-			if hi > j.n {
-				hi = j.n
-			}
-			j.body(lo, hi)
+		hi := lo + j.grain
+		if hi > j.n {
+			hi = j.n
 		}
-		j.done.Done()
+		j.body(lo, hi)
 	}
 }
 
@@ -98,12 +107,14 @@ func (p *PersistentPool) ParallelFor(n, grain int, body func(lo, hi int)) {
 	defer p.mu.Unlock()
 	var next atomic.Int64
 	var done sync.WaitGroup
+	var pan panicBox
 	done.Add(nw)
-	j := job{body: body, n: n, grain: grain, next: &next, done: &done}
+	j := job{body: body, n: n, grain: grain, next: &next, done: &done, pan: &pan}
 	for w := 0; w < nw; w++ {
 		p.jobs[w] <- j
 	}
 	done.Wait()
+	pan.Repanic()
 }
 
 // Run executes body once per worker (body receives the worker id) and
@@ -121,12 +132,14 @@ func (p *PersistentPool) Run(body func(worker int)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var done sync.WaitGroup
+	var pan panicBox
 	done.Add(p.workers)
-	j := job{body: func(id, _ int) { body(id) }, n: -1, done: &done}
+	j := job{body: func(id, _ int) { body(id) }, n: -1, done: &done, pan: &pan}
 	for w := 0; w < p.workers; w++ {
 		p.jobs[w] <- j
 	}
 	done.Wait()
+	pan.Repanic()
 }
 
 // Close stops the resident workers. The pool must not be used afterwards.

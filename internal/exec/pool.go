@@ -35,9 +35,17 @@ type Launcher interface {
 	// Chunks must be independent: a body may not wait on work done by
 	// another chunk of the same launch (launchers are free to run chunks
 	// sequentially on the caller). Cross-worker signalling belongs in Run.
+	//
+	// A panic in the body does not strand the launcher: the first panic
+	// is captured, the launch barrier still completes, and the panic is
+	// re-raised on the calling goroutine. Pools with resident workers
+	// remain usable afterwards. Which chunks completed is unspecified
+	// after a panic. Run-style bodies that busy-wait on each other must
+	// additionally use a Guard so surviving workers cannot spin forever
+	// on work a panicked worker will never publish.
 	ParallelFor(n, grain int, body func(lo, hi int))
 	// Run launches one invocation of body per worker and blocks until all
-	// return (a persistent kernel).
+	// return (a persistent kernel). Panics propagate as in ParallelFor.
 	Run(body func(worker int))
 	// Launches reports the number of launches performed so far.
 	Launches() int64
@@ -77,6 +85,10 @@ func (p *Pool) ResetLaunches() { p.launches.Store(0) }
 // iterations complete — this join is the "global barrier" of a GPU kernel.
 // A non-positive grain picks a chunk size that gives each worker about
 // eight chunks, a reasonable default for irregular work.
+//
+// A panic in the body is captured, the remaining workers drain normally,
+// and the first panic is re-raised on the calling goroutine after the
+// join; which chunks ran to completion is then unspecified.
 func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -89,10 +101,12 @@ func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var pan panicBox
 	wg.Add(nw)
 	for w := 0; w < nw; w++ {
 		go func() {
 			defer wg.Done()
+			defer pan.Recover()
 			for {
 				lo := int(next.Add(int64(grain))) - grain
 				if lo >= n {
@@ -107,11 +121,14 @@ func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	pan.Repanic()
 }
 
 // Run launches one goroutine per worker and blocks until all return. It is
 // the persistent-kernel analogue used by the sync-free algorithm, where
 // workers claim components and busy-wait on dependencies themselves.
+// As with ParallelFor, the first panic of any worker body is re-raised on
+// the calling goroutine after all workers have returned.
 func (p *Pool) Run(body func(worker int)) {
 	p.launches.Add(1)
 	if p.workers == 1 {
@@ -119,14 +136,17 @@ func (p *Pool) Run(body func(worker int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pan panicBox
 	wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
 		go func(id int) {
 			defer wg.Done()
+			defer pan.Recover()
 			body(id)
 		}(w)
 	}
 	wg.Wait()
+	pan.Repanic()
 }
 
 // Sequential reports whether the pool degenerates to serial execution.

@@ -77,6 +77,13 @@ type SpinPool struct {
 	waiting atomic.Int32
 	doneCh  chan struct{}
 
+	// pan holds the first panic of the current epoch's bodies. Workers
+	// capture into it before decrementing remaining, so by the time the
+	// completion barrier releases the launcher the capture is visible;
+	// publish re-raises it on the launching goroutine with the epoch and
+	// barrier state already restored, leaving the residents reusable.
+	pan panicBox
+
 	hot    int  // hot-spin budget, 1 on a single-P runtime
 	single bool // single-P runtime: ParallelFor runs inline (see below)
 	closed atomic.Bool
@@ -133,11 +140,7 @@ func (p *SpinPool) worker(id int) {
 		if p.closed.Load() {
 			return
 		}
-		if rb := p.runBody; rb != nil {
-			rb(id)
-		} else {
-			p.runChunks(id)
-		}
+		p.runEpoch(id)
 		if p.remaining.Add(-1) == 0 && p.waiting.Load() != 0 {
 			select {
 			case p.doneCh <- struct{}{}:
@@ -175,9 +178,22 @@ func (p *SpinPool) awaitEpoch(last uint64) uint64 {
 	}
 }
 
+// runEpoch executes this epoch's body on one worker, capturing a panic so
+// the worker survives and the barrier decrement that follows still runs.
+func (p *SpinPool) runEpoch(id int) {
+	defer p.pan.Recover()
+	if rb := p.runBody; rb != nil {
+		rb(id)
+	} else {
+		p.runChunks(id)
+	}
+}
+
 // publish broadcasts the already-written job descriptor to the resident
 // workers and, as worker 0, executes the caller's share before waiting
-// for the completion barrier. Callers hold p.mu.
+// for the completion barrier. A panic in any body — the caller's share
+// included — is re-raised here only after the barrier completes, so the
+// epoch machinery is back in its idle state first. Callers hold p.mu.
 func (p *SpinPool) publish(self func()) {
 	p.remaining.Store(int64(p.workers - 1))
 	p.epoch.Add(1)
@@ -186,8 +202,14 @@ func (p *SpinPool) publish(self func()) {
 		p.parkCond.Broadcast()
 		p.parkMu.Unlock()
 	}
-	self()
+	p.runSelf(self)
 	p.waitDone()
+	p.pan.Repanic()
+}
+
+func (p *SpinPool) runSelf(self func()) {
+	defer p.pan.Recover()
+	self()
 }
 
 // waitDone is the launcher half of the completion barrier: spin, yield,

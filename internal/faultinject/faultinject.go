@@ -1,0 +1,21 @@
+// Package faultinject provides chaos-testing hooks for the guarded solve
+// path: poisoning a solution value, corrupting a sync-free in-degree,
+// panicking inside a chosen block, or delaying a chosen worker. The hooks
+// are compiled in only under the "faultinject" build tag; in normal builds
+// Enabled is a false constant and every call site is guarded by
+//
+//	if faultinject.Enabled { ... }
+//
+// so the compiler removes the hook calls entirely — the production hot
+// paths carry zero overhead.
+//
+// Sites used by the library:
+//
+//	"tri-block"  — PanicAt before solving triangular block k
+//	"sync-free"  — Delay at guarded sync-free worker start;
+//	               CorruptInDegree when re-arming dependency counters
+//	"solution"   — Poison applied to the permuted solution vector
+//
+// The chaos suite (go test -tags faultinject ./internal/faultinject) arms
+// each hook and asserts the matching degradation path fires.
+package faultinject

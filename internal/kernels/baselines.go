@@ -56,7 +56,13 @@ func (s *SerialSolver[T]) Name() string { return "serial" }
 func (s *SerialSolver[T]) Rows() int    { return s.l.Rows }
 
 func (s *SerialSolver[T]) Solve(b, x []T) {
-	l := s.l
+	SerialSolveCSR(s.l, b, x)
+}
+
+// SerialSolveCSR is the serial forward substitution on a solvable lower CSR
+// (diagonal last in each row), shared by SerialSolver and by the guarded
+// path's last-resort fallback.
+func SerialSolveCSR[T sparse.Float](l *sparse.CSR[T], b, x []T) {
 	for i := 0; i < l.Rows; i++ {
 		sum := b[i]
 		hi := l.RowPtr[i+1] - 1 // diagonal is the last entry of a solvable row

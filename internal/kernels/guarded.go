@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/faultinject"
+	"github.com/sss-lab/blocksptrsv/internal/levelset"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// Guarded kernel variants: the same algorithms as their namesakes, with an
+// exec.Guard threaded through every barrier and busy-wait so a cancelled,
+// stalled or panicking solve unwinds instead of hanging. The unguarded
+// kernels stay byte-for-byte untouched — the guarded path is a separate
+// entry point, so solves that ask for no guarantees pay nothing.
+//
+// Each function returns false when the guard tripped before completion,
+// in which case the contents of w and x are unspecified.
+
+// TriLevelSetSolveGuarded is TriLevelSetSolve with a guard check at every
+// level barrier and one progress step per level.
+func TriLevelSetSolveGuarded[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], diag []T, info *levelset.Info, w, x []T, g *exec.Guard) bool {
+	for l := 0; l < info.NLevels; l++ {
+		if g.Tripped() {
+			return false
+		}
+		lo, hi := info.LevelPtr[l], info.LevelPtr[l+1]
+		items := info.LevelItem[lo:hi]
+		p.ParallelFor(len(items), 0, func(a, b int) {
+			for t := a; t < b; t++ {
+				j := items[t]
+				xj := w[j] / diag[j]
+				x[j] = xj
+				for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
+					exec.AtomicAddFloat(&w[strict.RowIdx[k]], -strict.Val[k]*xj)
+				}
+			}
+		})
+		g.Step()
+	}
+	return !g.Tripped()
+}
+
+// TriSyncFreeSolveGuarded is TriSyncFreeSolve with cancellable busy-waits.
+// A worker whose dependency never arrives exits the moment the guard
+// trips, recording the stalled component and its remaining in-degree as
+// the abort diagnostic; a panicking worker trips the guard itself before
+// re-raising, so the surviving workers cannot spin forever on updates the
+// dead worker will never publish.
+func TriSyncFreeSolveGuarded[T sparse.Float](p exec.Launcher, state *SyncFreeState, strict *sparse.CSC[T], diag []T, w, x []T, g *exec.Guard) bool {
+	n := len(diag)
+	if n == 0 {
+		return true
+	}
+	state.reset()
+	var next atomic.Int64
+	p.Run(func(worker int) {
+		defer func() {
+			if r := recover(); r != nil {
+				g.Trip(fmt.Errorf("kernels: sync-free worker %d panicked: %v", worker, r))
+				panic(r)
+			}
+		}()
+		if faultinject.Enabled {
+			faultinject.Delay("sync-free", worker)
+		}
+		for {
+			if g.Tripped() {
+				return
+			}
+			j := int(next.Add(1)) - 1
+			if j >= n {
+				return
+			}
+			if !exec.SpinUntilZeroGuarded(&state.indeg[j].V, g) {
+				g.ReportStall(j, state.indeg[j].V.Load())
+				return
+			}
+			xj := w[j] / diag[j]
+			x[j] = xj
+			for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
+				r := strict.RowIdx[k]
+				exec.AtomicAddFloat(&w[r], -strict.Val[k]*xj)
+				state.indeg[r].V.Add(-1)
+			}
+			g.Step()
+		}
+	})
+	return !g.Tripped()
+}
+
+// TriCuSparseLikeSolveGuarded is TriCuSparseLikeSolve with a guard check
+// at every chunk boundary and one progress step per chunk.
+func TriCuSparseLikeSolveGuarded[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T, g *exec.Guard) bool {
+	row := func(i int) {
+		sum := w[i]
+		for k := strictCSR.RowPtr[i]; k < strictCSR.RowPtr[i+1]; k++ {
+			sum -= strictCSR.Val[k] * x[strictCSR.ColIdx[k]]
+		}
+		x[i] = sum / diag[i]
+	}
+	for c := 0; c < len(sched.serial); c++ {
+		if g.Tripped() {
+			return false
+		}
+		lo, hi := sched.chunkPtr[c], sched.chunkPtr[c+1]
+		if sched.serial[c] {
+			p.ParallelFor(1, 1, func(_, _ int) {
+				for t := lo; t < hi; t++ {
+					row(sched.items[t])
+				}
+			})
+		} else {
+			items := sched.items[lo:hi]
+			p.ParallelFor(len(items), 0, func(a, b int) {
+				for t := a; t < b; t++ {
+					row(items[t])
+				}
+			})
+		}
+		g.Step()
+	}
+	return !g.Tripped()
+}

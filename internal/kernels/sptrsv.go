@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"github.com/sss-lab/blocksptrsv/internal/exec"
+	"github.com/sss-lab/blocksptrsv/internal/faultinject"
 	"github.com/sss-lab/blocksptrsv/internal/levelset"
 	"github.com/sss-lab/blocksptrsv/internal/sparse"
 )
@@ -163,6 +164,11 @@ func NewSyncFreeState[T sparse.Float](strict *sparse.CSC[T]) *SyncFreeState {
 func (s *SyncFreeState) reset() {
 	for i := range s.base {
 		s.indeg[i].V.Store(s.base[i])
+	}
+	if faultinject.Enabled {
+		if row, delta, ok := faultinject.CorruptInDegree("sync-free"); ok && row < len(s.indeg) {
+			s.indeg[row].V.Add(delta)
+		}
 	}
 }
 

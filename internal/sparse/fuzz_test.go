@@ -32,6 +32,20 @@ func FuzzReadMatrixMarket(f *testing.F) {
 		if err := m.Validate(); err != nil {
 			t.Fatalf("accepted invalid matrix: %v", err)
 		}
+		// The guarded path's validators must neither panic on any parsed
+		// matrix nor accept an out-of-bounds index (the structural sweep
+		// runs before the numerical one). Validate may reject for other
+		// reasons (NaN/Inf); triangular validation may reject freely.
+		for k, c := range m.ColIdx {
+			if c < 0 || c >= m.Cols {
+				if Validate(m) == nil {
+					t.Fatalf("Validate accepted out-of-bounds column %d at entry %d", c, k)
+				}
+			}
+		}
+		_ = Validate(m)
+		_ = ValidateLower(m)
+		_ = ValidateUpper(m)
 		var buf bytes.Buffer
 		if err := WriteMatrixMarket(&buf, m); err != nil {
 			t.Fatalf("failed to re-serialise accepted matrix: %v", err)

@@ -1,9 +1,11 @@
 package blocksptrsv
 
 import (
-	"math"
+	"context"
+	"fmt"
 
 	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
 )
 
 // LUSolver solves A·x ≈ b given triangular factors A ≈ L·U (for example
@@ -38,8 +40,25 @@ func (s *LUSolver) Name() string { return "block-lu" }
 
 // Solve computes x with L·U·x = b. Not safe for concurrent use.
 func (s *LUSolver) Solve(b, x []float64) {
+	if len(b) != len(s.y) || len(x) != len(s.y) {
+		panic(fmt.Sprintf("blocksptrsv: LUSolver.Solve got len(b)=%d len(x)=%d want %d", len(b), len(x), len(s.y)))
+	}
 	s.l.Solve(b, s.y)
 	s.u.Solve(s.y, x)
+}
+
+// SolveContext is the guarded counterpart of Solve: both triangular
+// solves run with cancellation, the stall watchdog and residual
+// verification as configured in the Options passed to NewLUSolver.
+// Length mismatches return an error instead of panicking.
+func (s *LUSolver) SolveContext(ctx context.Context, b, x []float64) error {
+	if len(b) != len(s.y) || len(x) != len(s.y) {
+		return fmt.Errorf("blocksptrsv: LUSolver.SolveContext got len(b)=%d len(x)=%d want %d", len(b), len(x), len(s.y))
+	}
+	if err := s.l.SolveContext(ctx, b, s.y); err != nil {
+		return err
+	}
+	return s.u.SolveContext(ctx, s.y, x)
 }
 
 // SparseRHSSolver solves L·x = b for sparse right-hand sides using the
@@ -56,18 +75,8 @@ func AnalyzeSparseRHS[T Float](l *Matrix[T]) (*SparseRHSSolver[T], error) {
 
 // Residual returns the scaled infinity-norm residual
 // max_i |(M·x − b)_i| / (1 + |b_i|) — the acceptance check used across
-// this library's examples and tools.
+// this library's examples, tools and the guarded solve path
+// (Options.VerifyResidual).
 func Residual[T Float](m *Matrix[T], x, b []T) float64 {
-	worst := 0.0
-	for i := 0; i < m.Rows; i++ {
-		var sum T
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			sum += m.Val[k] * x[m.ColIdx[k]]
-		}
-		bi := float64(b[i])
-		if r := math.Abs(float64(sum)-bi) / (1 + math.Abs(bi)); r > worst {
-			worst = r
-		}
-	}
-	return worst
+	return sparse.ScaledResidual(m, x, b)
 }

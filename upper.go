@@ -1,6 +1,7 @@
 package blocksptrsv
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -31,6 +32,13 @@ func AnalyzeUpper[T Float](u *Matrix[T], opts Options) (*UpperSolver[T], error) 
 	if u.Rows != u.Cols {
 		return nil, fmt.Errorf("blocksptrsv: AnalyzeUpper: %dx%d not square", u.Rows, u.Cols)
 	}
+	if opts.Validate {
+		// Validate in the original orientation so defect coordinates
+		// (row, column) refer to the caller's matrix, not the mirror.
+		if err := sparse.ValidateUpper(u); err != nil {
+			return nil, err
+		}
+	}
 	if !u.IsUpperTriangular() {
 		return nil, sparse.ErrNotTriangular
 	}
@@ -59,6 +67,9 @@ func (s *UpperSolver[T]) Name() string { return s.inner.Name() + "-upper" }
 // Solve computes x with U·x = b. Not safe for concurrent use.
 func (s *UpperSolver[T]) Solve(b, x []T) {
 	n := s.n
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("blocksptrsv: UpperSolver.Solve got len(b)=%d len(x)=%d want %d", len(b), len(x), n))
+	}
 	for i := 0; i < n; i++ {
 		s.br[i] = b[n-1-i]
 	}
@@ -67,6 +78,32 @@ func (s *UpperSolver[T]) Solve(b, x []T) {
 		x[i] = s.xr[n-1-i]
 	}
 }
+
+// SolveContext is the guarded counterpart of Solve: cancellation, the
+// stall watchdog and residual verification apply exactly as on
+// Solver.SolveContext (on the mirrored lower system — residuals are
+// invariant under the mirror permutation). Length mismatches return an
+// error instead of panicking.
+func (s *UpperSolver[T]) SolveContext(ctx context.Context, b, x []T) error {
+	n := s.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("blocksptrsv: UpperSolver.SolveContext got len(b)=%d len(x)=%d want %d", len(b), len(x), n)
+	}
+	for i := 0; i < n; i++ {
+		s.br[i] = b[n-1-i]
+	}
+	if err := s.inner.SolveContext(ctx, s.br, s.xr); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		x[i] = s.xr[n-1-i]
+	}
+	return nil
+}
+
+// Stats returns the inner solver's instrumentation counters, including
+// the SolveContext recovery counts (Refinements, Fallbacks).
+func (s *UpperSolver[T]) Stats() SolveStats { return s.inner.Stats() }
 
 // MatVec computes y = m·x in parallel on a default-size pool. It is the
 // general sparse matrix-vector product used by the iterative-solver
