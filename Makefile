@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos bench-launch
+.PHONY: ci vet build test race chaos cover bench-launch
 
 ci: vet build test race chaos
 
@@ -26,6 +26,22 @@ race:
 # through the guarded solve path.
 chaos:
 	$(GO) test -tags faultinject ./internal/faultinject ./internal/block ./internal/kernels
+
+# Coverage gate for the solver core and the execution substrate. Floors
+# sit ~10 points below the measured coverage so refactors have headroom
+# while untested new subsystems still fail the gate.
+COVER_FLOOR_BLOCK ?= 80
+COVER_FLOOR_EXEC  ?= 60
+
+cover:
+	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-block.out ./internal/block
+	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-exec.out ./internal/exec
+	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-block.out | awk '$$1=="total:" \
+		{ pct=$$3; sub(/%/,"",pct); printf "internal/block coverage: %s (floor $(COVER_FLOOR_BLOCK)%%)\n", $$3; \
+		  if (pct+0 < $(COVER_FLOOR_BLOCK)) exit 1 }'
+	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-exec.out | awk '$$1=="total:" \
+		{ pct=$$3; sub(/%/,"",pct); printf "internal/exec coverage: %s (floor $(COVER_FLOOR_EXEC)%%)\n", $$3; \
+		  if (pct+0 < $(COVER_FLOOR_EXEC)) exit 1 }'
 
 # Launch-latency microbenchmarks: the three launcher styles head to head.
 bench-launch:

@@ -35,6 +35,7 @@ import (
 	"github.com/sss-lab/blocksptrsv/internal/core"
 	"github.com/sss-lab/blocksptrsv/internal/exec"
 	"github.com/sss-lab/blocksptrsv/internal/gen"
+	"github.com/sss-lab/blocksptrsv/internal/metrics"
 	"github.com/sss-lab/blocksptrsv/internal/sparse"
 )
 
@@ -110,6 +111,30 @@ type Traffic = block.Traffic
 // solves that needed an iterative-refinement step, Fallbacks solves that
 // fell back to the serial reference (see Options.VerifyResidual).
 type SolveStats = block.SolveStats
+
+// TraceRecorder is a bounded ring buffer of per-step solve traces. Attach
+// one via Options.Trace (or Solver.SetTrace) and export with WriteTable,
+// WriteChromeTrace, Steps or Summarize.
+type TraceRecorder = block.TraceRecorder
+
+// TraceStep is one recorded plan step of a traced solve.
+type TraceStep = block.TraceStep
+
+// TraceSummary aggregates recorded steps per segment kind and per kernel.
+type TraceSummary = block.TraceSummary
+
+// NewTraceRecorder returns a recorder retaining the most recent capacity
+// steps (non-positive selects 65536). Recording never allocates.
+func NewTraceRecorder(capacity int) *TraceRecorder { return block.NewTraceRecorder(capacity) }
+
+// Metrics returns the process-wide metrics registry as a JSON string:
+// cumulative solve counts, per-kernel call counts, solve-latency and
+// launch-cost histograms, guard trips, refinements and fallbacks. The
+// same object is published via expvar under the key "blocksptrsv".
+func Metrics() string { return metrics.Default.String() }
+
+// ResetMetrics zeroes every process-wide counter and histogram.
+func ResetMetrics() { metrics.Default.Reset() }
 
 // Typed errors of the guarded solve path. Validation failures surface at
 // Analyze time when Options.Validate is set; StallError and ResidualError

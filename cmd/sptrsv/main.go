@@ -50,6 +50,9 @@ func main() {
 		loadA      = flag.String("load-analysis", "", "reuse preprocessing from this file instead of analysing")
 		thresholds = flag.String("thresholds", "", "JSON file with fitted kernel-selection thresholds (see sptrsvtune); block algorithms only")
 		verify     = flag.Float64("verify", 0, "residual tolerance for the guarded solve path: validate the input, check every solution, refine or fall back to the serial reference on failure (block-recursive only; 0 = off)")
+		tracePath  = flag.String("trace", "", "record every plan step of every solve and write Chrome trace_event JSON here (block algorithms only; open in chrome://tracing or Perfetto)")
+		explain    = flag.Bool("explain", false, "print the preprocessed execution plan: partition tree, per-block features, selected kernels (block algorithms only)")
+		metrics    = flag.Bool("metrics", false, "print the process-wide metrics registry as JSON after solving")
 	)
 	flag.Parse()
 	if *matrixPath == "" {
@@ -139,6 +142,19 @@ func main() {
 		}
 	}
 
+	blockSolver, _ := s.(*sptrsv.Solver[float64])
+	if (*tracePath != "" || *explain) && blockSolver == nil {
+		fatalIf(fmt.Errorf("-trace/-explain require a block algorithm, got %s", *algo))
+	}
+	if *explain {
+		fmt.Print(blockSolver.Explain())
+	}
+	var rec *sptrsv.TraceRecorder
+	if *tracePath != "" {
+		rec = sptrsv.NewTraceRecorder(0)
+		blockSolver.SetTrace(rec)
+	}
+
 	x := make([]float64, l.Rows)
 	t0 = time.Now()
 	if guarded != nil {
@@ -159,6 +175,23 @@ func main() {
 		st := guarded.Stats()
 		fmt.Printf("verification: tolerance %.1e, %d refinements, %d serial fallbacks\n",
 			*verify, st.Refinements, st.Fallbacks)
+	}
+
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		fatalIf(err)
+		fatalIf(rec.WriteChromeTrace(f))
+		fatalIf(f.Close())
+		sum := rec.Summarize()
+		fmt.Printf("trace: %d steps of %d solves written to %s (tri %v, spmv %v)\n",
+			sum.Steps, sum.Solves, *tracePath,
+			sum.TriTime.Round(time.Microsecond), sum.SpMVTime.Round(time.Microsecond))
+		if d := rec.Dropped(); d > 0 {
+			fmt.Printf("trace: %d older steps were dropped by the bounded ring\n", d)
+		}
+	}
+	if *metrics {
+		fmt.Println(sptrsv.Metrics())
 	}
 
 	if *outPath != "" {

@@ -18,7 +18,7 @@ import (
 
 // ExperimentNames lists the runnable experiment ids in paper order.
 func ExperimentNames() []string {
-	return []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "table4", "table5", "ablation", "scaling", "launch"}
+	return []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "table4", "table5", "ablation", "scaling", "launch", "breakdown"}
 }
 
 // Run dispatches one experiment by id.
@@ -48,6 +48,8 @@ func Run(id string, w io.Writer, p Params) error {
 		return Scaling(w, p)
 	case "launch":
 		return LaunchOverhead(w, p)
+	case "breakdown":
+		return Breakdown(w, p)
 	}
 	return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ExperimentNames())
 }

@@ -47,16 +47,19 @@ func (s *Solver[T]) solveBatchWith(b, x []T, k int, wb, xb []T, states []*kernel
 		if st.kind == triSeg {
 			tb := &s.tris[st.idx]
 			s.solveTriBatch(tb, w[tb.lo*k:tb.hi*k], xp[tb.lo*k:tb.hi*k], k, stateFor(states, st.idx, tb))
+			mTriCalls[tb.kernel].Inc()
 		} else {
 			sb := &s.sqs[st.idx]
 			kernels.RunSpMVBatch(s.pool, sb.kernel, sb.csr, sb.dcsr,
 				xp[sb.spec.colLo*k:sb.spec.colHi*k], w[sb.spec.rowLo*k:sb.spec.rowHi*k], k)
+			mSpMVCalls[sb.kernel].Inc()
 		}
 	}
 	if s.perm != nil {
 		unpermuteRowsInto(x, xp, s.perm, k)
 	}
 	stats.Solves++
+	mSolves.Inc()
 }
 
 func (s *Solver[T]) solveTriBatch(tb *triBlock[T], w, x []T, k int, state *kernels.SyncFreeState) {

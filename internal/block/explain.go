@@ -1,0 +1,52 @@
+package block
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the full preprocessed plan before any solve runs: the
+// configuration, the partition tree in execution order (indented by
+// recursion depth), each block's adapt features and selected kernel, and
+// the traffic/kernel summaries. The output is deterministic — two
+// identical Preprocess calls explain identically — so tests and tooling
+// may diff it.
+//
+// Solvers reloaded with LoadSolver explain flat (the recursion depths are
+// a preprocessing artefact and are not serialised).
+func (s *Solver[T]) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d, %d triangular + %d square blocks\n",
+		s.Name(), s.n, len(s.tris), len(s.sqs))
+	fmt.Fprintf(&b, "options: partition=%s workers=%d minblockrows=%d maxdepth=%d nseg=%d reorder=%v adaptive=%v\n",
+		s.opts.Kind, s.pool.Workers(), s.opts.MinBlockRows, s.opts.MaxDepth, s.opts.NSeg,
+		s.opts.Reorder, s.opts.Adaptive)
+	fmt.Fprintf(&b, "reordered=%v traffic: %d b-updates, %d x-loads (dense-equivalent)\n",
+		s.perm != nil, s.traffic.BUpdates, s.traffic.XLoads)
+	b.WriteString("execution plan:\n")
+	for si, st := range s.steps {
+		depth := 0
+		if si < len(s.stepDepth) {
+			depth = s.stepDepth[si]
+		}
+		indent := strings.Repeat("  ", depth)
+		if st.kind == triSeg {
+			tb := &s.tris[st.idx]
+			f := tb.feats
+			fmt.Fprintf(&b, "%4d  %stri  #%d [%d:%d)  rows=%d strict-nnz=%d nnz/row=%.2f levels=%d  kernel=%s\n",
+				si, indent, st.idx, tb.lo, tb.hi, f.Rows, f.StrictNNZ, f.NNZPerRow, f.NLevels, tb.kernel)
+		} else {
+			sb := &s.sqs[st.idx]
+			f := sb.feats
+			fmt.Fprintf(&b, "%4d  %ssq   #%d [%d:%d)x[%d:%d)  rows=%d nnz=%d nnz/row=%.2f empty=%.0f%%  kernel=%s\n",
+				si, indent, st.idx, sb.spec.rowLo, sb.spec.rowHi, sb.spec.colLo, sb.spec.colHi,
+				f.Rows, f.NNZ, f.NNZPerRow, 100*f.EmptyRatio, sb.kernel)
+		}
+	}
+	fmt.Fprintf(&b, "tri kernels: %v\n", formatTriCounts(s.TriKernelCounts()))
+	fmt.Fprintf(&b, "spmv kernels: %v\n", formatSpMVCounts(s.SpMVKernelCounts()))
+	return b.String()
+}
+
+// Explain renders the shared solver's plan (see Solver.Explain).
+func (ses *Session[T]) Explain() string { return ses.s.Explain() }

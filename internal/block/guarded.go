@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -135,6 +136,7 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 		watchers.Wait()
 	}()
 
+	timed, solveT0 := s.solveClock()
 	xp := x
 	if s.perm != nil {
 		sparse.PermuteVecInto(w, b, s.perm)
@@ -142,7 +144,7 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 	} else {
 		copy(w, b)
 	}
-	if !s.solveStepsGuarded(w, xp, states, g, stats) {
+	if !s.solveStepsGuarded(w, xp, states, g, stats, s.beginTrace()) {
 		return s.guardCause(g)
 	}
 	if faultinject.Enabled {
@@ -154,6 +156,10 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 		sparse.UnpermuteVecInto(x, xp, s.perm)
 	}
 	stats.Solves++
+	mSolves.Inc()
+	if timed {
+		mSolveTime.Observe(time.Since(solveT0))
+	}
 	if s.opts.VerifyResidual > 0 {
 		return s.verifyAndRecover(b, x, w, xpScratch, states, gs, stats)
 	}
@@ -163,14 +169,20 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 // solveStepsGuarded mirrors solveSteps with a guard check between blocks
 // and guarded kernels inside them. It reports whether the schedule ran to
 // completion; on false the guard holds the cause.
-func (s *Solver[T]) solveStepsGuarded(w, xp []T, states []*kernels.SyncFreeState, g *exec.Guard, stats *SolveStats) bool {
-	for _, st := range s.steps {
+func (s *Solver[T]) solveStepsGuarded(w, xp []T, states []*kernels.SyncFreeState, g *exec.Guard, stats *SolveStats, sid int64) bool {
+	rec := s.opts.Trace
+	instrument := s.opts.Instrument
+	timed := instrument || rec != nil
+	for si, st := range s.steps {
 		if g.Tripped() {
 			return false
 		}
 		var t0 time.Time
-		if s.opts.Instrument {
+		if timed {
 			t0 = time.Now()
+		}
+		if s.labels != nil {
+			pprof.SetGoroutineLabels(s.labels[si])
 		}
 		if st.kind == triSeg {
 			if faultinject.Enabled {
@@ -180,20 +192,37 @@ func (s *Solver[T]) solveStepsGuarded(w, xp []T, states []*kernels.SyncFreeState
 			if !s.solveTriGuarded(tb, w[tb.lo:tb.hi], xp[tb.lo:tb.hi], stateFor(states, st.idx, tb), g) {
 				return false
 			}
-			if s.opts.Instrument {
-				stats.TriTime += time.Since(t0)
-				stats.TriCalls++
+			mTriCalls[tb.kernel].Inc()
+			if timed {
+				d := time.Since(t0)
+				if instrument {
+					stats.TriTime += d
+					stats.TriCalls++
+				}
+				if rec != nil {
+					rec.record(sid, si, s.meta[si], uint8(tb.kernel), t0, d)
+				}
 			}
 		} else {
 			sb := &s.sqs[st.idx]
 			kernels.RunSpMV(s.pool, sb.kernel, sb.csr, sb.dcsr,
 				xp[sb.spec.colLo:sb.spec.colHi], w[sb.spec.rowLo:sb.spec.rowHi])
 			g.Step()
-			if s.opts.Instrument {
-				stats.SpMVTime += time.Since(t0)
-				stats.SpMVCalls++
+			mSpMVCalls[sb.kernel].Inc()
+			if timed {
+				d := time.Since(t0)
+				if instrument {
+					stats.SpMVTime += d
+					stats.SpMVCalls++
+				}
+				if rec != nil {
+					rec.record(sid, si, s.meta[si], uint8(sb.kernel), t0, d)
+				}
 			}
 		}
+	}
+	if s.labels != nil {
+		pprof.SetGoroutineLabels(bgLabels)
 	}
 	return !g.Tripped()
 }
@@ -289,6 +318,7 @@ func (s *Solver[T]) verifyAndRecover(b, x []T, w, xpScratch []T, states []*kerne
 			x[i] += gs.d[i]
 		}
 		stats.Refinements++
+		mRefinements.Inc()
 		if sparse.ScaledResidual(s.orig, x, b) <= tol {
 			return nil
 		}
@@ -296,6 +326,7 @@ func (s *Solver[T]) verifyAndRecover(b, x []T, w, xpScratch []T, states []*kerne
 	// Last rung: the serial reference on the untouched original matrix.
 	kernels.SerialSolveCSR(s.orig, b, x)
 	stats.Fallbacks++
+	mFallbacks.Inc()
 	if res := sparse.ScaledResidual(s.orig, x, b); res > tol {
 		return &ResidualError{Residual: res, Tol: tol}
 	}

@@ -1,0 +1,33 @@
+package block
+
+import (
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/metrics"
+)
+
+// Process-wide observability handles, resolved once at package init so
+// the solve path pays one atomic add per event and never touches the
+// registry maps. Counters cover every solve regardless of Options
+// (they are allocation-free and branch-free); the solve-latency histogram
+// is fed only on instrumented or traced solves, which are the only ones
+// that read the clock.
+var (
+	mSolves      = metrics.Default.Counter("solves")
+	mSolveTime   = metrics.Default.Histogram("solve_ns")
+	mRefinements = metrics.Default.Counter("refinements")
+	mFallbacks   = metrics.Default.Counter("fallbacks")
+
+	// Per-kernel call counters, indexed by the kernel enums (the paper's
+	// Figure-5 axes: which kernel ran how often).
+	mTriCalls  [int(kernels.TriSerial) + 1]*metrics.Counter
+	mSpMVCalls [int(kernels.SpMVSerial) + 1]*metrics.Counter
+)
+
+func init() {
+	for k := kernels.TriAuto; k <= kernels.TriSerial; k++ {
+		mTriCalls[k] = metrics.Default.Counter("tri_calls_" + k.String())
+	}
+	for k := kernels.SpMVAuto; k <= kernels.SpMVSerial; k++ {
+		mSpMVCalls[k] = metrics.Default.Counter("spmv_calls_" + k.String())
+	}
+}

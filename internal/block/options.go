@@ -85,6 +85,12 @@ type Options struct {
 	// phases (Figure 4's measurement). It adds two clock reads per
 	// segment per solve.
 	Instrument bool
+	// Trace attaches a per-step execution recorder: every plan step of
+	// every solve records kind, kernel, geometry and wall time into the
+	// recorder's bounded ring, exportable as a text table or Chrome
+	// trace_event JSON. nil (the default) costs one pointer check per
+	// solve. See NewTraceRecorder and Solver.SetTrace.
+	Trace *TraceRecorder
 
 	// Validate runs sparse.ValidateLower on the input at preprocessing
 	// time: sorted in-bounds indices, finite values, a present nonzero

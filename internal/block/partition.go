@@ -18,6 +18,10 @@ const (
 type segSpec struct {
 	kind                       segKind
 	rowLo, rowHi, colLo, colHi int
+	// depth is the recursion depth the spec was emitted at (0 for panel
+	// partitions) — a preprocessing artefact kept for Explain's tree
+	// rendering, not serialised.
+	depth int
 }
 
 func (s segSpec) String() string {
@@ -44,12 +48,12 @@ func buildPlan(n int, o Options) []segSpec {
 		rec = func(lo, hi, depth int) {
 			size := hi - lo
 			if size <= o.MinBlockRows || size < 2 || (o.MaxDepth > 0 && depth >= o.MaxDepth) {
-				plan = append(plan, segSpec{triSeg, lo, hi, lo, hi})
+				plan = append(plan, segSpec{triSeg, lo, hi, lo, hi, depth})
 				return
 			}
 			mid := lo + size/2
 			rec(lo, mid, depth+1)
-			plan = append(plan, segSpec{sqSeg, mid, hi, lo, mid})
+			plan = append(plan, segSpec{sqSeg, mid, hi, lo, mid, depth})
 			rec(mid, hi, depth+1)
 		}
 		rec(0, n, 0)
@@ -63,9 +67,9 @@ func buildPlan(n int, o Options) []segSpec {
 		plan := make([]segSpec, 0, 2*nseg-1)
 		for si := 0; si < nseg; si++ {
 			lo, hi := si*n/nseg, (si+1)*n/nseg
-			plan = append(plan, segSpec{triSeg, lo, hi, lo, hi})
+			plan = append(plan, segSpec{triSeg, lo, hi, lo, hi, 0})
 			if si != nseg-1 {
-				plan = append(plan, segSpec{sqSeg, hi, n, lo, hi})
+				plan = append(plan, segSpec{sqSeg, hi, n, lo, hi, 0})
 			}
 		}
 		return plan
@@ -79,9 +83,9 @@ func buildPlan(n int, o Options) []segSpec {
 		for si := 0; si < nseg; si++ {
 			lo, hi := si*n/nseg, (si+1)*n/nseg
 			if si != 0 {
-				plan = append(plan, segSpec{sqSeg, lo, hi, 0, lo})
+				plan = append(plan, segSpec{sqSeg, lo, hi, 0, lo, 0})
 			}
-			plan = append(plan, segSpec{triSeg, lo, hi, lo, hi})
+			plan = append(plan, segSpec{triSeg, lo, hi, lo, hi, 0})
 		}
 		return plan
 	}

@@ -33,15 +33,15 @@ func TestBuildPlanInvariantsQuick(t *testing.T) {
 func TestPlanChecksCatchesBadPlans(t *testing.T) {
 	bad := [][]segSpec{
 		// Gap in the diagonal.
-		{{triSeg, 0, 4, 0, 4}, {triSeg, 5, 8, 5, 8}},
+		{{triSeg, 0, 4, 0, 4, 0}, {triSeg, 5, 8, 5, 8, 0}},
 		// Square reads unsolved columns.
-		{{triSeg, 0, 4, 0, 4}, {sqSeg, 4, 8, 0, 5}, {triSeg, 4, 8, 4, 8}},
+		{{triSeg, 0, 4, 0, 4, 0}, {sqSeg, 4, 8, 0, 5, 0}, {triSeg, 4, 8, 4, 8, 0}},
 		// Square updates already-solved rows.
-		{{triSeg, 0, 4, 0, 4}, {sqSeg, 2, 8, 0, 4}, {triSeg, 4, 8, 4, 8}},
+		{{triSeg, 0, 4, 0, 4, 0}, {sqSeg, 2, 8, 0, 4, 0}, {triSeg, 4, 8, 4, 8, 0}},
 		// Diagonal not fully covered.
-		{{triSeg, 0, 4, 0, 4}},
+		{{triSeg, 0, 4, 0, 4, 0}},
 		// Non-square triangle spec.
-		{{triSeg, 0, 4, 0, 5}, {triSeg, 4, 8, 4, 8}},
+		{{triSeg, 0, 4, 0, 5, 0}, {triSeg, 4, 8, 4, 8, 0}},
 	}
 	for i, plan := range bad {
 		if err := planChecks(8, plan); err == nil {
@@ -80,13 +80,13 @@ func TestRecursivePlanShape(t *testing.T) {
 	o := Options{Kind: Recursive, MinBlockRows: 1, MaxDepth: 2}
 	plan := buildPlan(8, o)
 	want := []segSpec{
-		{triSeg, 0, 2, 0, 2},
-		{sqSeg, 2, 4, 0, 2},
-		{triSeg, 2, 4, 2, 4},
-		{sqSeg, 4, 8, 0, 4},
-		{triSeg, 4, 6, 4, 6},
-		{sqSeg, 6, 8, 4, 6},
-		{triSeg, 6, 8, 6, 8},
+		{triSeg, 0, 2, 0, 2, 2},
+		{sqSeg, 2, 4, 0, 2, 1},
+		{triSeg, 2, 4, 2, 4, 2},
+		{sqSeg, 4, 8, 0, 4, 0},
+		{triSeg, 4, 6, 4, 6, 2},
+		{sqSeg, 6, 8, 4, 6, 1},
+		{triSeg, 6, 8, 6, 8, 2},
 	}
 	if len(plan) != len(want) {
 		t.Fatalf("plan: %v", plan)

@@ -485,7 +485,7 @@ func (s *Solver[T]) validateLoaded() error {
 				return fmt.Errorf("%w: tri step out of range", ErrSerialize)
 			}
 			tb := &s.tris[st.idx]
-			plan = append(plan, segSpec{triSeg, tb.lo, tb.hi, tb.lo, tb.hi})
+			plan = append(plan, segSpec{triSeg, tb.lo, tb.hi, tb.lo, tb.hi, 0})
 			if err := tb.strictCSC.Validate(); err != nil {
 				return fmt.Errorf("%w: %v", ErrSerialize, err)
 			}

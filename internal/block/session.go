@@ -52,6 +52,11 @@ func (ses *Session[T]) Name() string { return ses.s.Name() }
 // Stats returns this session's accumulated instrumentation counters.
 func (ses *Session[T]) Stats() SolveStats { return ses.stats }
 
+// ResetStats clears this session's instrumentation counters. Sessions
+// accumulate stats privately, so resetting one session touches neither
+// the shared Solver's counters nor any sibling session's.
+func (ses *Session[T]) ResetStats() { ses.stats = SolveStats{} }
+
 // Solve computes x with L·x = b using this session's private scratch.
 // Sessions of the same Solver may call Solve concurrently; a single
 // Session must not.

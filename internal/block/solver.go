@@ -1,7 +1,10 @@
 package block
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -86,6 +89,16 @@ type Solver[T sparse.Float] struct {
 	traffic  Traffic
 	stats    SolveStats
 	sqNNZ    int
+
+	// Observability state. stepDepth holds each step's recursion depth
+	// for Explain's tree rendering (nil on deserialised solvers); meta
+	// and labels exist only while a TraceRecorder is attached (SetTrace)
+	// — meta is the per-step geometry the recorder copies, labels the
+	// prebuilt pprof label sets applied around each step so CPU profiles
+	// attribute caller-side samples to block indices.
+	stepDepth []int
+	meta      []stepMeta
+	labels    []context.Context
 }
 
 // Preprocess builds a block solver for the lower-triangular system L
@@ -152,7 +165,9 @@ func Preprocess[T sparse.Float](l *sparse.CSR[T], opts Options) (*Solver[T], err
 
 	cscAll := cur.ToCSC()
 	s.traffic.BUpdates = int64(n)
+	s.stepDepth = make([]int, 0, len(plan))
 	for _, spec := range plan {
+		s.stepDepth = append(s.stepDepth, spec.depth)
 		switch spec.kind {
 		case triSeg:
 			tb, err := buildTriBlock[T](cscAll, spec, o)
@@ -181,8 +196,58 @@ func Preprocess[T sparse.Float](l *sparse.CSR[T], opts Options) (*Solver[T], err
 		}
 		s.CalibrateKernels(reps)
 	}
+	if o.Trace != nil {
+		s.SetTrace(o.Trace)
+	}
 	return s, nil
 }
+
+// SetTrace attaches (or, with nil, detaches) a step recorder after
+// construction — the post-hoc equivalent of Options.Trace, usable on
+// deserialised solvers too. It precomputes the per-step geometry the
+// recorder copies on the hot path and the pprof label set applied around
+// each step. Not safe to call concurrently with solves.
+func (s *Solver[T]) SetTrace(r *TraceRecorder) {
+	s.opts.Trace = r
+	if r == nil {
+		s.meta, s.labels = nil, nil
+		return
+	}
+	s.meta = make([]stepMeta, len(s.steps))
+	s.labels = make([]context.Context, len(s.steps))
+	for si, st := range s.steps {
+		var m stepMeta
+		kind := "tri"
+		if st.kind == triSeg {
+			tb := &s.tris[st.idx]
+			rows := tb.hi - tb.lo
+			m = stepMeta{
+				kind: triSeg, block: int32(st.idx),
+				rows: int32(rows), cols: int32(rows),
+				nnz:    int32(tb.strictCSC.NNZ() + len(tb.diag)),
+				levels: int32(tb.feats.NLevels),
+			}
+		} else {
+			sb := &s.sqs[st.idx]
+			kind = "spmv"
+			nnz := sb.feats.NNZ
+			m = stepMeta{
+				kind: sqSeg, block: int32(st.idx),
+				rows: int32(sb.spec.rowHi - sb.spec.rowLo),
+				cols: int32(sb.spec.colHi - sb.spec.colLo),
+				nnz:  int32(nnz),
+			}
+		}
+		s.meta[si] = m
+		s.labels[si] = pprof.WithLabels(context.Background(), pprof.Labels(
+			"sptrsv_step", strconv.Itoa(si),
+			"sptrsv_kind", kind,
+			"sptrsv_block", strconv.Itoa(st.idx)))
+	}
+}
+
+// Trace returns the attached step recorder, or nil.
+func (s *Solver[T]) Trace() *TraceRecorder { return s.opts.Trace }
 
 func buildTriBlock[T sparse.Float](cscAll *sparse.CSC[T], spec segSpec, o Options) (triBlock[T], error) {
 	sub := sparse.SubCSC(cscAll, spec.rowLo, spec.rowHi, spec.colLo, spec.colHi)
@@ -376,6 +441,7 @@ func (s *Solver[T]) solveWith(b, x, w, xpScratch []T, states []*kernels.SyncFree
 	if len(b) != s.n || len(x) != s.n {
 		panic(fmt.Sprintf("block: Solve got len(b)=%d len(x)=%d want %d", len(b), len(x), s.n))
 	}
+	timed, t0 := s.solveClock()
 	xp := x
 	if s.perm != nil {
 		sparse.PermuteVecInto(w, b, s.perm)
@@ -383,37 +449,84 @@ func (s *Solver[T]) solveWith(b, x, w, xpScratch []T, states []*kernels.SyncFree
 	} else {
 		copy(w, b)
 	}
-	s.solveSteps(w, xp, states, s.opts.Instrument, stats)
+	s.solveSteps(w, xp, states, s.opts.Instrument, stats, s.beginTrace())
 	if s.perm != nil {
 		sparse.UnpermuteVecInto(x, xp, s.perm)
 	}
 	stats.Solves++
+	mSolves.Inc()
+	if timed {
+		mSolveTime.Observe(time.Since(t0))
+	}
 }
 
-func (s *Solver[T]) solveSteps(w, xp []T, states []*kernels.SyncFreeState, instrument bool, stats *SolveStats) {
-	for _, st := range s.steps {
+// solveClock reads the clock for the solve-latency histogram on solves
+// that already pay for timestamps (instrumented or traced); plain solves
+// skip even the clock reads.
+func (s *Solver[T]) solveClock() (bool, time.Time) {
+	if s.opts.Instrument || s.opts.Trace != nil {
+		return true, time.Now()
+	}
+	return false, time.Time{}
+}
+
+// beginTrace assigns the solve id for an attached recorder (0 = untraced).
+func (s *Solver[T]) beginTrace() int64 {
+	if s.opts.Trace == nil {
+		return 0
+	}
+	return s.opts.Trace.beginSolve()
+}
+
+func (s *Solver[T]) solveSteps(w, xp []T, states []*kernels.SyncFreeState, instrument bool, stats *SolveStats, sid int64) {
+	rec := s.opts.Trace
+	timed := instrument || rec != nil
+	for si, st := range s.steps {
 		var t0 time.Time
-		if instrument {
+		if timed {
 			t0 = time.Now()
+		}
+		if s.labels != nil {
+			pprof.SetGoroutineLabels(s.labels[si])
 		}
 		if st.kind == triSeg {
 			tb := &s.tris[st.idx]
 			s.solveTri(tb, w[tb.lo:tb.hi], xp[tb.lo:tb.hi], stateFor(states, st.idx, tb))
-			if instrument {
-				stats.TriTime += time.Since(t0)
-				stats.TriCalls++
+			mTriCalls[tb.kernel].Inc()
+			if timed {
+				d := time.Since(t0)
+				if instrument {
+					stats.TriTime += d
+					stats.TriCalls++
+				}
+				if rec != nil {
+					rec.record(sid, si, s.meta[si], uint8(tb.kernel), t0, d)
+				}
 			}
 		} else {
 			sb := &s.sqs[st.idx]
 			kernels.RunSpMV(s.pool, sb.kernel, sb.csr, sb.dcsr,
 				xp[sb.spec.colLo:sb.spec.colHi], w[sb.spec.rowLo:sb.spec.rowHi])
-			if instrument {
-				stats.SpMVTime += time.Since(t0)
-				stats.SpMVCalls++
+			mSpMVCalls[sb.kernel].Inc()
+			if timed {
+				d := time.Since(t0)
+				if instrument {
+					stats.SpMVTime += d
+					stats.SpMVCalls++
+				}
+				if rec != nil {
+					rec.record(sid, si, s.meta[si], uint8(sb.kernel), t0, d)
+				}
 			}
 		}
 	}
+	if s.labels != nil {
+		pprof.SetGoroutineLabels(bgLabels)
+	}
 }
+
+// bgLabels clears the per-step pprof labels after a traced solve.
+var bgLabels = context.Background()
 
 // stateFor picks the sync-free state: the session's private copy when one
 // exists, the solver-owned one otherwise.

@@ -75,6 +75,7 @@ func (g *Guard) Trip(cause error) bool {
 	}
 	g.cause = cause
 	g.tripped.Store(true)
+	mGuardTrips.Inc()
 	return true
 }
 

@@ -28,5 +28,6 @@ func MeasureLaunchCost(l Launcher, launches int) time.Duration {
 			best = d
 		}
 	}
+	mLaunchCost.Observe(best)
 	return best
 }

@@ -50,6 +50,7 @@ func NewPersistentPool(workers int) *PersistentPool {
 }
 
 func (p *PersistentPool) worker(id int) {
+	labelWorker("persistent", id)
 	for j := range p.jobs[id] {
 		p.execute(j, id)
 	}

@@ -134,6 +134,7 @@ func (p *SpinPool) ResetLaunches() { p.launches.Store(0) }
 func (p *SpinPool) Sequential() bool { return p.workers == 1 }
 
 func (p *SpinPool) worker(id int) {
+	labelWorker("spin", id)
 	last := uint64(0)
 	for {
 		last = p.awaitEpoch(last)

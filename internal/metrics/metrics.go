@@ -1,0 +1,250 @@
+// Package metrics is the library's process-wide observability registry:
+// named monotonic counters and log-bucketed latency histograms, cheap
+// enough to sit on the solve path (one atomic add per event, no
+// allocation, no locks after the handle is resolved).
+//
+// The Default registry is published to expvar under the key "blocksptrsv",
+// so any process that mounts expvar's HTTP handler (or calls expvar.Do)
+// sees the solver's counters alongside the runtime's without further
+// wiring. Instrumented packages resolve their handles once, at package
+// init, and hammer the atomics from then on:
+//
+//	var solves = metrics.Default.Counter("solves")
+//	...
+//	solves.Inc()
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic event counter. The zero value is ready to use.
+// It implements expvar.Var.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// String renders the count (expvar.Var).
+func (c *Counter) String() string { return strconv.FormatInt(c.v.Load(), 10) }
+
+// histBuckets is the number of power-of-two duration buckets: bucket i
+// holds observations with 2^i <= ns < 2^(i+1), except bucket 0 which also
+// absorbs sub-nanosecond readings and the last bucket which absorbs
+// everything longer (~9 minutes and up).
+const histBuckets = 40
+
+// Histogram is a fixed-size log₂ latency histogram. Observing costs three
+// atomic adds and never allocates; the zero value is ready to use. It
+// implements expvar.Var, rendering a JSON summary with the non-empty
+// buckets keyed by their lower bound in nanoseconds.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns)) // 0 for 0ns, k for [2^(k-1), 2^k)
+	if b > 0 {
+		b--
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[b].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the
+// observed durations: the upper edge of the bucket the quantile falls in.
+// Log₂ buckets bound the estimate within 2× of the true value.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return time.Duration(int64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(int64(1) << histBuckets)
+}
+
+// String renders the JSON summary (expvar.Var).
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sum_ns":%d`, h.count.Load(), h.sum.Load())
+	first := true
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c != 0 {
+			if first {
+				b.WriteString(`,"buckets_ns":{`)
+				first = false
+			} else {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `"%d":%d`, int64(1)<<uint(i), c)
+		}
+	}
+	if !first {
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry is a namespace of counters and histograms. Handles are
+// get-or-create and stable for the life of the registry, so callers
+// resolve them once and update lock-free afterwards.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every metric in the registry (handles stay valid — tests
+// and benchmarks use this between phases).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.count.Store(0)
+		h.sum.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// Names returns the metric names in sorted order, counters then
+// histograms, with no duplicates between the two maps (a name is one or
+// the other).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the whole registry as one JSON object in sorted name
+// order (expvar.Var; also the payload of the published "blocksptrsv"
+// variable).
+func (r *Registry) String() string {
+	names := r.Names()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		r.mu.Lock()
+		var v expvar.Var
+		if c, ok := r.counters[n]; ok {
+			v = c
+		} else {
+			v = r.hists[n]
+		}
+		r.mu.Unlock()
+		fmt.Fprintf(&b, "%q:%s", n, v.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Default is the process-wide registry every instrumented package of this
+// library reports into.
+var Default = NewRegistry()
+
+func init() {
+	// Package init runs once per process, so the publish cannot collide
+	// with itself; a user-level variable of the same name would panic
+	// here, which is the expvar convention for name conflicts.
+	expvar.Publish("blocksptrsv", Default)
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter not stable across lookups")
+	}
+	if c.String() != "5" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(3 * time.Nanosecond)
+	h.Observe(1024 * time.Nanosecond)
+	h.Observe(time.Hour) // beyond the last bucket: clamped, not lost
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	want := time.Hour + 1024 + 3 + 1
+	if h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	if m := h.Mean(); m <= 0 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Fatalf("quantile = %v", q)
+	}
+}
+
+func TestHistogramQuantileBound(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	q := h.Quantile(0.99)
+	// 100ns lands in bucket [64,128); the quantile reports the upper edge.
+	if q != 128 {
+		t.Fatalf("q99 = %v, want 128ns", q)
+	}
+}
+
+// The registry's String must be valid JSON with every registered metric,
+// in a stable order — it is the expvar payload.
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter").Add(2)
+	r.Counter("a_counter").Inc()
+	r.Histogram("c_hist").Observe(50 * time.Nanosecond)
+	r.Histogram("empty_hist")
+	var m map[string]any
+	if err := json.Unmarshal([]byte(r.String()), &m); err != nil {
+		t.Fatalf("registry JSON invalid: %v\n%s", err, r.String())
+	}
+	for _, k := range []string{"a_counter", "b_counter", "c_hist", "empty_hist"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("registry JSON missing %q: %s", k, r.String())
+		}
+	}
+	if s1, s2 := r.String(), r.String(); s1 != s2 {
+		t.Fatal("registry String not stable")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(7)
+	h.Observe(time.Microsecond)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left c=%d h.count=%d h.sum=%v", c.Value(), h.Count(), h.Sum())
+	}
+	if h.String() != `{"count":0,"sum_ns":0}` {
+		t.Fatalf("empty histogram String = %s", h.String())
+	}
+}
+
+// Handles must be safe to hammer concurrently — they sit on the solve path.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("d")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("got c=%d h=%d, want 8000", c.Value(), h.Count())
+	}
+}
+
+// Observing must never allocate: these handles sit on the solve hot path.
+func TestObserveAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(123 * time.Nanosecond)
+	}); n != 0 {
+		t.Fatalf("metric updates allocate: %v allocs/op", n)
+	}
+}
