@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos cover bench-launch
+.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate
 
-ci: vet build test race chaos
+ci: vet build test race chaos perfgate
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,25 @@ cover:
 	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-exec.out | awk '$$1=="total:" \
 		{ pct=$$3; sub(/%/,"",pct); printf "internal/exec coverage: %s (floor $(COVER_FLOOR_EXEC)%%)\n", $$3; \
 		  if (pct+0 < $(COVER_FLOOR_EXEC)) exit 1 }'
+
+# Machine-readable perf trajectory (DESIGN.md §6.7). bench-json runs the
+# full canonical suite and refreshes the committed baseline; run it on a
+# quiet machine after a deliberate perf change and commit the result.
+# perfgate replays the short suite (one matrix per structural-class pair)
+# against that baseline with a deliberately generous gate: it exists to
+# catch order-of-magnitude mistakes deterministically in CI, not to
+# referee single-digit noise. Both pin -scale so medians stay comparable.
+BENCH_SCALE    ?= 0.1
+BENCH_BASELINE ?= BENCH_baseline.json
+PERFGATE_PCT   ?= 400
+
+bench-json:
+	$(GO) run ./cmd/sptrsvbench -suite -scale $(BENCH_SCALE) -repeats 9 -warmup 2 \
+		-json $(BENCH_BASELINE)
+
+perfgate:
+	$(GO) run ./cmd/sptrsvbench -suite -short -scale $(BENCH_SCALE) -repeats 3 -warmup 1 \
+		-baseline $(BENCH_BASELINE) -gate $(PERFGATE_PCT) -json /tmp/blocksptrsv-perfgate.json
 
 # Launch-latency microbenchmarks: the three launcher styles head to head.
 bench-launch:

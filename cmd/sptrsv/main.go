@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -53,6 +55,7 @@ func main() {
 		tracePath  = flag.String("trace", "", "record every plan step of every solve and write Chrome trace_event JSON here (block algorithms only; open in chrome://tracing or Perfetto)")
 		explain    = flag.Bool("explain", false, "print the preprocessed execution plan: partition tree, per-block features, selected kernels (block algorithms only)")
 		metrics    = flag.Bool("metrics", false, "print the process-wide metrics registry as JSON after solving")
+		serve      = flag.String("serve", "", "serve the observability endpoints (/metrics, /debug/pprof, /explain, /trace) on this address and stay alive after solving, e.g. :6060")
 	)
 	flag.Parse()
 	if *matrixPath == "" {
@@ -154,6 +157,22 @@ func main() {
 		rec = sptrsv.NewTraceRecorder(0)
 		blockSolver.SetTrace(rec)
 	}
+	if *serve != "" {
+		// Serving wants a recorder so /trace has something to show; attach
+		// one if tracing was not already requested and the solver supports it.
+		if rec == nil && blockSolver != nil {
+			rec = sptrsv.NewTraceRecorder(0)
+			blockSolver.SetTrace(rec)
+		}
+		obs := sptrsv.ObsOptions{Trace: rec}
+		if blockSolver != nil {
+			obs.Explain = blockSolver.Explain
+		}
+		ln, err := net.Listen("tcp", *serve)
+		fatalIf(err)
+		fmt.Printf("observability endpoints on http://%s/ (metrics, pprof, explain, trace)\n", ln.Addr())
+		go func() { fatalIf(http.Serve(ln, sptrsv.ObsHandler(obs))) }()
+	}
 
 	x := make([]float64, l.Rows)
 	t0 = time.Now()
@@ -177,7 +196,7 @@ func main() {
 			*verify, st.Refinements, st.Fallbacks)
 	}
 
-	if rec != nil {
+	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		fatalIf(err)
 		fatalIf(rec.WriteChromeTrace(f))
@@ -197,6 +216,11 @@ func main() {
 	if *outPath != "" {
 		fatalIf(writeVector(*outPath, x))
 		fmt.Printf("solution written to %s\n", *outPath)
+	}
+
+	if *serve != "" {
+		fmt.Println("serving until interrupted (ctrl-c to exit)")
+		select {}
 	}
 }
 

@@ -16,40 +16,45 @@ import (
 	"github.com/sss-lab/blocksptrsv/internal/sparse"
 )
 
+// experiments is the single source of truth for the runnable experiments,
+// in paper order: ExperimentNames and Run both derive from it, so an
+// experiment cannot be listed without being dispatchable (or the other
+// way round) — the drift the old hand-maintained switch allowed.
+var experiments = []struct {
+	ID string
+	Fn func(io.Writer, Params) error
+}{
+	{"table1", Table1},
+	{"table2", Table2},
+	{"table3", Table3},
+	{"fig4", Figure4},
+	{"fig5", Figure5},
+	{"fig6", Figure6},
+	{"fig7", Figure7},
+	{"table4", Table4},
+	{"table5", Table5},
+	{"ablation", Ablation},
+	{"scaling", Scaling},
+	{"launch", LaunchOverhead},
+	{"breakdown", Breakdown},
+	{"suite", Suite},
+}
+
 // ExperimentNames lists the runnable experiment ids in paper order.
 func ExperimentNames() []string {
-	return []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "table4", "table5", "ablation", "scaling", "launch", "breakdown"}
+	out := make([]string, len(experiments))
+	for i, e := range experiments {
+		out[i] = e.ID
+	}
+	return out
 }
 
 // Run dispatches one experiment by id.
 func Run(id string, w io.Writer, p Params) error {
-	switch id {
-	case "table1":
-		return Table1(w, p)
-	case "table2":
-		return Table2(w, p)
-	case "table3":
-		return Table3(w, p)
-	case "fig4":
-		return Figure4(w, p)
-	case "fig5":
-		return Figure5(w, p)
-	case "fig6":
-		return Figure6(w, p)
-	case "fig7":
-		return Figure7(w, p)
-	case "table4":
-		return Table4(w, p)
-	case "table5":
-		return Table5(w, p)
-	case "ablation":
-		return Ablation(w, p)
-	case "scaling":
-		return Scaling(w, p)
-	case "launch":
-		return LaunchOverhead(w, p)
-	case "breakdown":
-		return Breakdown(w, p)
+	for _, e := range experiments {
+		if e.ID == id {
+			return e.Fn(w, p)
+		}
 	}
 	return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ExperimentNames())
 }

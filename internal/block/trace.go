@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/metrics"
 )
 
 // Per-step execution tracing: the measurement behind the paper's Figure 4
@@ -274,18 +275,24 @@ type TraceSummary struct {
 	SpMVTime  time.Duration
 	TriCalls  int64
 	SpMVCalls int64
+	// StepP50/P90/P99 are upper-bound estimates of the step-duration
+	// quantiles, extracted from a log₂ histogram of the retained steps
+	// (metrics.Histogram.Quantile: within 2× of the true value).
+	StepP50, StepP90, StepP99 time.Duration
 	// ByKernel maps kernel name to total wall time and call count.
 	KernelTime  map[string]time.Duration
 	KernelCalls map[string]int64
 }
 
-// Summarize folds the retained steps into per-kind and per-kernel totals.
+// Summarize folds the retained steps into per-kind and per-kernel totals
+// plus step-duration quantiles.
 func (r *TraceRecorder) Summarize() TraceSummary {
 	s := TraceSummary{
 		KernelTime:  make(map[string]time.Duration),
 		KernelCalls: make(map[string]int64),
 	}
 	solves := make(map[int64]struct{})
+	var durs metrics.Histogram
 	for _, rec := range r.snapshot() {
 		st := rec.export()
 		s.Steps++
@@ -299,7 +306,13 @@ func (r *TraceRecorder) Summarize() TraceSummary {
 		}
 		s.KernelTime[st.Kernel] += st.Duration
 		s.KernelCalls[st.Kernel]++
+		durs.Observe(st.Duration)
 	}
 	s.Solves = len(solves)
+	if s.Steps > 0 {
+		s.StepP50 = durs.Quantile(0.5)
+		s.StepP90 = durs.Quantile(0.9)
+		s.StepP99 = durs.Quantile(0.99)
+	}
 	return s
 }

@@ -76,6 +76,37 @@ func TestTraceMatchesStats(t *testing.T) {
 	if sum.TriTime != triSum || sum.SpMVTime != spmvSum || sum.Solves != solves {
 		t.Fatalf("summary %+v disagrees with steps (tri=%v spmv=%v solves=%d)", sum, triSum, spmvSum, solves)
 	}
+	// The step-duration quantiles come from Histogram.Quantile: monotone
+	// upper bounds bracketing the observed extremes within the log2 bucket
+	// guarantee (the p99 bound can be at most 2x the longest step; every
+	// bound is at least as large as the shortest step).
+	var minStep, maxStep time.Duration = 1 << 62, 0
+	for _, step := range rec.Steps() {
+		if step.Duration < minStep {
+			minStep = step.Duration
+		}
+		if step.Duration > maxStep {
+			maxStep = step.Duration
+		}
+	}
+	if sum.StepP50 <= 0 || sum.StepP50 > sum.StepP90 || sum.StepP90 > sum.StepP99 {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v", sum.StepP50, sum.StepP90, sum.StepP99)
+	}
+	if sum.StepP50 < minStep {
+		t.Fatalf("p50 %v below shortest step %v", sum.StepP50, minStep)
+	}
+	if sum.StepP99 > 2*maxStep {
+		t.Fatalf("p99 %v beyond 2x the longest step %v", sum.StepP99, maxStep)
+	}
+}
+
+// TestSummarizeEmpty: an empty recorder summarises to zeroes, quantiles
+// included.
+func TestSummarizeEmpty(t *testing.T) {
+	sum := NewTraceRecorder(16).Summarize()
+	if sum.Steps != 0 || sum.StepP50 != 0 || sum.StepP99 != 0 {
+		t.Fatalf("empty summary = %+v", sum)
+	}
 }
 
 func TestTraceRecordsGeometry(t *testing.T) {

@@ -102,6 +102,9 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		return 0
 	}
 	rank := int64(q * float64(n))
+	if rank < 0 {
+		rank = 0
+	}
 	if rank >= n {
 		rank = n - 1
 	}
@@ -115,10 +118,15 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(int64(1) << histBuckets)
 }
 
-// String renders the JSON summary (expvar.Var).
+// String renders the JSON summary (expvar.Var), including upper-bound
+// quantile estimates (see Quantile) once there are observations.
 func (h *Histogram) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, `{"count":%d,"sum_ns":%d`, h.count.Load(), h.sum.Load())
+	if h.count.Load() > 0 {
+		fmt.Fprintf(&b, `,"p50_ns":%d,"p90_ns":%d,"p99_ns":%d`,
+			h.Quantile(0.5).Nanoseconds(), h.Quantile(0.9).Nanoseconds(), h.Quantile(0.99).Nanoseconds())
+	}
 	first := true
 	for i := 0; i < histBuckets; i++ {
 		if c := h.buckets[i].Load(); c != 0 {

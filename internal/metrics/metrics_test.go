@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -42,6 +43,80 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if q := h.Quantile(0.5); q <= 0 {
 		t.Fatalf("quantile = %v", q)
+	}
+}
+
+// TestHistogramQuantileExact builds synthetic distributions whose bucket
+// placement is known exactly and checks Quantile returns exactly the
+// expected bucket upper edge for a sweep of q values — the estimator's
+// contract is "the upper edge of the bucket the rank-q observation fell
+// in", and these distributions make that edge computable by hand.
+func TestHistogramQuantileExact(t *testing.T) {
+	var h Histogram
+	// 10 obs in bucket 0 ([0,2)ns), 20 in bucket 2 ([4,8)), 30 in bucket
+	// 10 ([1024,2048)), 40 in bucket 20 ([2^20,2^21)). n = 100, so the
+	// rank of quantile q is exactly floor(100q).
+	observe := func(d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			h.Observe(d)
+		}
+	}
+	observe(1, 10)
+	observe(4, 20)
+	observe(1024, 30)
+	observe(1<<20, 40)
+
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{-1, 2}, {0, 2}, {0.05, 2}, {0.09, 2}, // ranks 0..9 → bucket 0, edge 2ns
+		{0.10, 8}, {0.25, 8}, {0.29, 8}, // ranks 10..29 → bucket 2, edge 8ns
+		{0.30, 2048}, {0.5, 2048}, {0.59, 2048}, // ranks 30..59 → bucket 10
+		{0.60, 1 << 21}, {0.9, 1 << 21}, {0.99, 1 << 21}, {1, 1 << 21}, {2, 1 << 21},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// A single-bucket distribution: every quantile is that bucket's edge.
+	var one Histogram
+	observe2 := func(h *Histogram, d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			h.Observe(d)
+		}
+	}
+	observe2(&one, 300*time.Nanosecond, 7) // bucket 8: [256,512)
+	for _, q := range []float64{0, 0.25, 0.5, 0.999, 1} {
+		if got := one.Quantile(q); got != 512 {
+			t.Fatalf("single-bucket Quantile(%v) = %v, want 512ns", q, got)
+		}
+	}
+
+	// Empty histogram: all quantiles are zero.
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}
+
+// The JSON summary must carry the quantile estimates once populated.
+func TestHistogramStringQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket 6, upper edge 128ns
+	}
+	s := h.String()
+	for _, want := range []string{`"p50_ns":128`, `"p90_ns":128`, `"p99_ns":128`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("histogram JSON %s missing %s", s, want)
+		}
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		t.Fatalf("histogram JSON invalid: %v\n%s", err, s)
 	}
 }
 

@@ -1,0 +1,476 @@
+package metrics
+
+// Prometheus text-format exposition for the registry, stdlib-only. The
+// expvar publication (metrics.go) serves ad-hoc inspection; this file
+// serves scrapers: every counter becomes a `_total` counter, every log₂-ns
+// histogram becomes a classic Prometheus histogram in seconds (cumulative
+// `_bucket{le=...}` samples derived from the power-of-two buckets, `_sum`,
+// `_count`) plus extracted quantile gauges, so dashboards get p50/p90/p99
+// without PromQL histogram_quantile over 40 buckets.
+//
+// LintPrometheusText is the matching format checker: tests and CI feed the
+// exposition back through it so a malformed HELP/TYPE line, a bad label
+// escape or a non-monotone bucket series fails by name rather than
+// silently breaking a scraper.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// namePrefix namespaces every exposed metric, per Prometheus convention
+// (one prefix per instrumented library).
+const namePrefix = "blocksptrsv_"
+
+// exportQuantiles are the quantiles extracted from each histogram.
+var exportQuantiles = []float64{0.5, 0.9, 0.99}
+
+// sanitizeMetricName maps an arbitrary registry name onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:], collapsing every invalid rune to '_'
+// and prefixing '_' if the result would start with a digit.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP text: backslash and newline (quotes are legal).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histogramBaseName converts a registry histogram name (by convention
+// suffixed _ns, holding nanoseconds) into its exposition base name in
+// seconds: solve_ns → blocksptrsv_solve_seconds.
+func histogramBaseName(name string) string {
+	base := strings.TrimSuffix(name, "_ns")
+	return namePrefix + sanitizeMetricName(base) + "_seconds"
+}
+
+// WritePrometheus writes every metric of the registry in Prometheus text
+// exposition format (version 0.0.4), in sorted name order: counters
+// first, then histograms, each preceded by its HELP and TYPE lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counterNames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		counterNames = append(counterNames, n)
+	}
+	histNames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	sort.Strings(counterNames)
+	sort.Strings(histNames)
+
+	var b strings.Builder
+	for _, n := range counterNames {
+		name := namePrefix + sanitizeMetricName(n) + "_total"
+		fmt.Fprintf(&b, "# HELP %s Monotonic event counter %q of the blocksptrsv registry.\n", name, escapeHelp(n))
+		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		fmt.Fprintf(&b, "%s %d\n", name, counters[n].Value())
+	}
+	for _, n := range histNames {
+		writePrometheusHistogram(&b, n, hists[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePrometheusHistogram renders one log₂-ns histogram as a classic
+// histogram in seconds plus quantile gauges. The bucket samples are
+// cumulative and end with le="+Inf"; only buckets up to the highest
+// non-empty one are materialised (the tail would repeat the total count
+// 40 times on an empty registry).
+func writePrometheusHistogram(b *strings.Builder, name string, h *Histogram) {
+	base := histogramBaseName(name)
+	var counts [histBuckets]int64
+	top := -1
+	for i := 0; i < histBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			top = i
+		}
+	}
+	count := h.count.Load()
+	sumNs := h.sum.Load()
+
+	fmt.Fprintf(b, "# HELP %s Log2-bucketed latency histogram %q of the blocksptrsv registry, in seconds.\n", base, escapeHelp(name))
+	fmt.Fprintf(b, "# TYPE %s histogram\n", base)
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		// Bucket i holds [2^i, 2^(i+1)) ns; its inclusive upper bound in
+		// seconds is the next power of two.
+		le := float64(int64(1)<<uint(i+1)) / 1e9
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", base, formatFloat(le), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", base, count)
+	fmt.Fprintf(b, "%s_sum %s\n", base, formatFloat(float64(sumNs)/1e9))
+	fmt.Fprintf(b, "%s_count %d\n", base, count)
+
+	qname := base + "_quantile"
+	fmt.Fprintf(b, "# HELP %s Upper-bound quantile estimates extracted from %s (log2 buckets bound the estimate within 2x).\n", qname, base)
+	fmt.Fprintf(b, "# TYPE %s gauge\n", qname)
+	for _, q := range exportQuantiles {
+		fmt.Fprintf(b, "%s{q=%q} %s\n", qname,
+			escapeLabelValue(formatFloat(q)), formatFloat(h.Quantile(q).Seconds()))
+	}
+}
+
+// WritePrometheus writes the Default registry in Prometheus text format.
+func WritePrometheus(w io.Writer) error { return Default.WritePrometheus(w) }
+
+// LintPrometheusText checks data against the Prometheus text exposition
+// format: comment discipline (HELP then TYPE once per family, before its
+// samples), metric-name and label syntax, parseable sample values,
+// monotone cumulative histogram buckets terminated by le="+Inf" matching
+// _count, and counter non-negativity. It returns the first violation, or
+// nil for a clean exposition. Tests and CI run scrapes back through it so
+// format drift fails loudly.
+func LintPrometheusText(data []byte) error {
+	type family struct {
+		help, typ   string
+		sampleSeen  bool
+		bucketPrev  float64 // previous cumulative bucket count
+		bucketPrevL float64 // previous le bound
+		bucketLast  float64 // last cumulative count (for +Inf / _count check)
+		infSeen     bool
+		count       float64
+		countSeen   bool
+	}
+	families := map[string]*family{}
+	// familyOf strips histogram/counter sample suffixes down to the name
+	// the TYPE line declared.
+	familyOf := func(name, kind string) string {
+		if kind == "histogram" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) {
+					return strings.TrimSuffix(name, suf)
+				}
+			}
+		}
+		return name
+	}
+	// declaredKind finds which family a sample belongs to.
+	lookup := func(name string) (string, *family) {
+		if f, ok := families[name]; ok {
+			return name, f
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suf); base != name {
+				if f, ok := families[base]; ok && f.typ == "histogram" {
+					return base, f
+				}
+			}
+		}
+		return "", nil
+	}
+	validName := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			case r >= '0' && r <= '9':
+				if i == 0 {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	validLabelName := func(s string) bool {
+		return validName(s) && !strings.Contains(s, ":")
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q (want '# HELP name text' or '# TYPE name kind')", lineNo, line)
+			}
+			name := fields[2]
+			if !validName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help != "" {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				if f.typ != "" || f.sampleSeen {
+					return fmt.Errorf("line %d: HELP for %q must precede its TYPE and samples", lineNo, name)
+				}
+				f.help = fields[3]
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if f.sampleSeen {
+					return fmt.Errorf("line %d: TYPE for %q must precede its samples", lineNo, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %q", lineNo, fields[3], name)
+				}
+				f.typ = fields[3]
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value [timestamp].
+		name := line
+		labels := ""
+		var rest string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return fmt.Errorf("line %d: unbalanced braces in %q", lineNo, line)
+			}
+			name = line[:i]
+			labels = line[i+1 : j]
+			rest = line[j+1:]
+		} else if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+			name = line[:sp]
+			rest = line[sp:]
+		} else {
+			return fmt.Errorf("line %d: sample %q has no value", lineNo, line)
+		}
+		if !validName(name) {
+			return fmt.Errorf("line %d: invalid sample metric name %q", lineNo, name)
+		}
+		parts := strings.Fields(rest)
+		if len(parts) < 1 || len(parts) > 2 {
+			return fmt.Errorf("line %d: want 'name value [timestamp]', got %q", lineNo, line)
+		}
+		value, err := parseSampleValue(parts[0])
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q: %v", lineNo, parts[0], err)
+		}
+
+		// Label syntax and escaping.
+		var le string
+		var hasLE bool
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					return fmt.Errorf("line %d: label %q missing '='", lineNo, pair)
+				}
+				lname, lval := pair[:eq], pair[eq+1:]
+				if !validLabelName(lname) {
+					return fmt.Errorf("line %d: invalid label name %q", lineNo, lname)
+				}
+				if len(lval) < 2 || lval[0] != '"' || lval[len(lval)-1] != '"' {
+					return fmt.Errorf("line %d: label value %s not quoted", lineNo, lval)
+				}
+				if err := checkLabelEscaping(lval[1 : len(lval)-1]); err != nil {
+					return fmt.Errorf("line %d: label %s: %v", lineNo, lname, err)
+				}
+				if lname == "le" {
+					le, hasLE = unescapeLabelValue(lval[1:len(lval)-1]), true
+				}
+			}
+		}
+
+		fam, f := lookup(name)
+		if f == nil || f.typ == "" {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+		}
+		if familyOf(name, f.typ) != fam {
+			return fmt.Errorf("line %d: sample %q does not belong to family %q", lineNo, name, fam)
+		}
+		f.sampleSeen = true
+
+		switch {
+		case f.typ == "counter":
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %q is negative (%v)", lineNo, name, value)
+			}
+		case f.typ == "histogram" && strings.HasSuffix(name, "_bucket"):
+			if !hasLE {
+				return fmt.Errorf("line %d: histogram bucket %q missing le label", lineNo, name)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le bound %q", lineNo, le)
+				}
+			}
+			if f.bucketPrevL != 0 || f.bucketPrev != 0 {
+				if bound <= f.bucketPrevL {
+					return fmt.Errorf("line %d: bucket bounds not increasing (%v after %v)", lineNo, bound, f.bucketPrevL)
+				}
+				if value < f.bucketPrev {
+					return fmt.Errorf("line %d: cumulative bucket counts decrease (%v after %v)", lineNo, value, f.bucketPrev)
+				}
+			}
+			f.bucketPrevL, f.bucketPrev, f.bucketLast = bound, value, value
+			if le == "+Inf" {
+				f.infSeen = true
+			}
+		case f.typ == "histogram" && strings.HasSuffix(name, "_count"):
+			f.count, f.countSeen = value, true
+		}
+	}
+
+	for name, f := range families {
+		if f.typ == "" {
+			return fmt.Errorf("family %q has HELP but no TYPE", name)
+		}
+		if f.typ == "histogram" && f.sampleSeen {
+			if !f.infSeen {
+				return fmt.Errorf("histogram %q has no le=\"+Inf\" bucket", name)
+			}
+			if f.countSeen && f.bucketLast != f.count {
+				return fmt.Errorf("histogram %q: +Inf bucket %v != _count %v", name, f.bucketLast, f.count)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSampleValue parses a sample value, accepting the Inf/NaN spellings.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// splitLabels splits a label body on commas not inside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, strings.TrimSpace(cur.String()))
+	}
+	return out
+}
+
+// checkLabelEscaping verifies a quoted label body uses only the legal
+// escapes (\\, \", \n) and contains no raw newline or unescaped quote.
+func checkLabelEscaping(body string) error {
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if i+1 >= len(body) {
+				return fmt.Errorf("dangling backslash")
+			}
+			switch body[i+1] {
+			case '\\', '"', 'n':
+				i++
+			default:
+				return fmt.Errorf("invalid escape \\%c", body[i+1])
+			}
+		case '"':
+			return fmt.Errorf("unescaped quote")
+		case '\n':
+			return fmt.Errorf("raw newline")
+		}
+	}
+	return nil
+}
+
+// unescapeLabelValue undoes escapeLabelValue.
+func unescapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	s = strings.ReplaceAll(s, `\\`, `\`)
+	return s
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the full exposition of a registry with
+// known contents byte for byte: scrapers parse this text, so incidental
+// drift (ordering, suffixes, float formatting) is a breaking change.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solves").Add(3)
+	r.Counter("guard_trips")
+	h := r.Histogram("solve_ns")
+	h.Observe(100 * time.Nanosecond)  // bucket 6: [64,128)
+	h.Observe(100 * time.Nanosecond)  // bucket 6
+	h.Observe(1000 * time.Nanosecond) // bucket 9: [512,1024)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP blocksptrsv_guard_trips_total Monotonic event counter "guard_trips" of the blocksptrsv registry.`,
+		`# TYPE blocksptrsv_guard_trips_total counter`,
+		`blocksptrsv_guard_trips_total 0`,
+		`# HELP blocksptrsv_solves_total Monotonic event counter "solves" of the blocksptrsv registry.`,
+		`# TYPE blocksptrsv_solves_total counter`,
+		`blocksptrsv_solves_total 3`,
+		`# HELP blocksptrsv_solve_seconds Log2-bucketed latency histogram "solve_ns" of the blocksptrsv registry, in seconds.`,
+		`# TYPE blocksptrsv_solve_seconds histogram`,
+		`blocksptrsv_solve_seconds_bucket{le="2e-09"} 0`,
+		`blocksptrsv_solve_seconds_bucket{le="4e-09"} 0`,
+		`blocksptrsv_solve_seconds_bucket{le="8e-09"} 0`,
+		`blocksptrsv_solve_seconds_bucket{le="1.6e-08"} 0`,
+		`blocksptrsv_solve_seconds_bucket{le="3.2e-08"} 0`,
+		`blocksptrsv_solve_seconds_bucket{le="6.4e-08"} 0`,
+		`blocksptrsv_solve_seconds_bucket{le="1.28e-07"} 2`,
+		`blocksptrsv_solve_seconds_bucket{le="2.56e-07"} 2`,
+		`blocksptrsv_solve_seconds_bucket{le="5.12e-07"} 2`,
+		`blocksptrsv_solve_seconds_bucket{le="1.024e-06"} 3`,
+		`blocksptrsv_solve_seconds_bucket{le="+Inf"} 3`,
+		`blocksptrsv_solve_seconds_sum 1.2e-06`,
+		`blocksptrsv_solve_seconds_count 3`,
+		`# HELP blocksptrsv_solve_seconds_quantile Upper-bound quantile estimates extracted from blocksptrsv_solve_seconds (log2 buckets bound the estimate within 2x).`,
+		`# TYPE blocksptrsv_solve_seconds_quantile gauge`,
+		`blocksptrsv_solve_seconds_quantile{q="0.5"} 1.28e-07`,
+		`blocksptrsv_solve_seconds_quantile{q="0.9"} 1.024e-06`,
+		`blocksptrsv_solve_seconds_quantile{q="0.99"} 1.024e-06`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := LintPrometheusText(buf.Bytes()); err != nil {
+		t.Fatalf("golden output fails its own linter: %v", err)
+	}
+}
+
+// TestWritePrometheusLintsClean runs a registry resembling the real
+// process registry (every metric family the library registers, including
+// names that need sanitising) through the linter.
+func TestWritePrometheusLintsClean(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"solves", "refinements", "fallbacks", "guard_trips",
+		"tri_calls_level-set", "spmv_calls_vector csr", "9starts_with_digit"} {
+		r.Counter(n).Inc()
+	}
+	for _, n := range []string{"solve_ns", "launch_cost_ns", "empty_ns", "no_suffix"} {
+		h := r.Histogram(n)
+		if n != "empty_ns" {
+			for i := 0; i < 100; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheusText(buf.Bytes()); err != nil {
+		t.Fatalf("exposition fails linter: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	// Sanitisation: '-', ' ' and a leading digit must not reach the wire.
+	for _, want := range []string{
+		"blocksptrsv_tri_calls_level_set_total",
+		"blocksptrsv_spmv_calls_vector_csr_total",
+		"blocksptrsv__9starts_with_digit_total",
+		"blocksptrsv_no_suffix_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing sanitised name %q:\n%s", want, out)
+		}
+	}
+	// An empty histogram still exposes a well-formed family.
+	if !strings.Contains(out, `blocksptrsv_empty_seconds_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty histogram missing +Inf bucket:\n%s", out)
+	}
+}
+
+// TestLintCatchesViolations feeds the linter the malformations it exists
+// to catch; each must be rejected with a mention of the offence.
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"sample without TYPE", "foo 1\n", "no preceding TYPE"},
+		{"TYPE after sample", "# TYPE foo counter\nfoo 1\n# TYPE foo gauge\n", "duplicate TYPE"},
+		{"HELP after TYPE", "# TYPE foo counter\n# HELP foo x\nfoo 1\n", "must precede"},
+		{"unknown type", "# TYPE foo widget\nfoo 1\n", "unknown TYPE"},
+		{"bad metric name", "# TYPE 1foo counter\n1foo 1\n", "invalid metric name"},
+		{"bad value", "# TYPE foo counter\nfoo abc\n", "bad sample value"},
+		{"negative counter", "# TYPE foo counter\nfoo -1\n", "negative"},
+		{"unquoted label", "# TYPE foo gauge\nfoo{a=b} 1\n", "not quoted"},
+		{"bad escape", "# TYPE foo gauge\nfoo{a=\"x\\y\"} 1\n", "invalid escape"},
+		{"bad label name", "# TYPE foo gauge\nfoo{1a=\"x\"} 1\n", "invalid label name"},
+		{"missing le", "# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n", "missing le"},
+		{"non-monotone bounds", "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\n", "not increasing"},
+		{"decreasing counts", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n", "decrease"},
+		{"no +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n", "+Inf"},
+		{"Inf != count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n", "_count"},
+		{"HELP without TYPE", "# HELP foo text here\n", "no TYPE"},
+		{"malformed comment", "# NOPE foo bar\n", "malformed comment"},
+	}
+	for _, c := range cases {
+		err := LintPrometheusText([]byte(c.text))
+		if err == nil {
+			t.Fatalf("%s: linter accepted\n%s", c.name, c.text)
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestLintAcceptsTimestamps: the format allows an optional timestamp.
+func TestLintAcceptsTimestamps(t *testing.T) {
+	text := "# TYPE foo gauge\nfoo{a=\"b c\"} 1.5 1700000000000\n"
+	if err := LintPrometheusText([]byte(text)); err != nil {
+		t.Fatalf("timestamped sample rejected: %v", err)
+	}
+}

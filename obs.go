@@ -1,0 +1,118 @@
+package blocksptrsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"github.com/sss-lab/blocksptrsv/internal/metrics"
+)
+
+// External observability: the in-process layer (tracing, explain, the
+// metrics registry — DESIGN.md §6.6) exposed over HTTP so a running
+// solver can be inspected live by standard tooling. ObsHandler is an
+// embeddable mux — mount it on any server, or let `sptrsv -serve` host
+// it. Serving is entirely out-of-band: every endpoint reads atomics or
+// snapshots a ring under a short lock, and a solver that is not traced
+// pays nothing at all (pinned by TestObsHandlerZeroAllocSolve).
+
+// WritePrometheus writes the process-wide metrics registry in Prometheus
+// text exposition format: every counter as a `_total` counter, every
+// latency histogram as a classic histogram in seconds plus p50/p90/p99
+// quantile gauges extracted from its log₂ buckets.
+func WritePrometheus(w io.Writer) error { return metrics.WritePrometheus(w) }
+
+// ObsOptions configure the optional, solver-specific endpoints of an
+// ObsHandler. The zero value is valid: the process-wide endpoints
+// (/metrics, /debug/vars, /debug/pprof) always work; /explain and /trace
+// answer 404 until a source is configured.
+type ObsOptions struct {
+	// Explain, when non-nil, serves its result at /explain — typically a
+	// solver or session's Explain method value.
+	Explain func() string
+	// Trace, when non-nil, serves the recorder's retained steps at
+	// /trace. Attach the same recorder to the solver with SetTrace (or
+	// Options.Trace) to see live solves.
+	Trace *TraceRecorder
+}
+
+// ObsHandler returns an http.Handler exposing the library's observability
+// surface:
+//
+//	/                 endpoint index (text)
+//	/metrics          Prometheus text exposition of the metrics registry
+//	/debug/vars       expvar JSON (includes the "blocksptrsv" registry)
+//	/debug/pprof/*    pprof profiles (CPU, heap, goroutine, ...)
+//	/explain          the configured plan dump (text)
+//	/trace            Chrome trace_event JSON of the recorder's retained
+//	                  steps (open in chrome://tracing or Perfetto);
+//	                  ?format=table for text, ?format=summary for the
+//	                  per-kind/per-kernel fold with step quantiles
+//
+// The handler holds no locks between requests and never touches the
+// solve path; it is safe to serve while solves are running.
+func ObsHandler(o ObsOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "blocksptrsv observability endpoints:")
+		fmt.Fprintln(w, "  /metrics        Prometheus text format")
+		fmt.Fprintln(w, "  /debug/vars     expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof/   pprof profiles")
+		fmt.Fprintln(w, "  /explain        execution plan (if configured)")
+		fmt.Fprintln(w, "  /trace          Chrome trace JSON of recent solves (if configured; ?format=table|summary)")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		if o.Explain == nil {
+			http.Error(w, "no explain source configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, o.Explain())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if o.Trace == nil {
+			http.Error(w, "no trace recorder configured", http.StatusNotFound)
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "", "chrome", "json":
+			w.Header().Set("Content-Type", "application/json")
+			o.Trace.WriteChromeTrace(w)
+		case "table":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			o.Trace.WriteTable(w)
+		case "summary":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			sum := o.Trace.Summarize()
+			fmt.Fprintf(w, "steps %d  solves %d  dropped %d\n", sum.Steps, sum.Solves, o.Trace.Dropped())
+			fmt.Fprintf(w, "tri  %v over %d calls\n", sum.TriTime, sum.TriCalls)
+			fmt.Fprintf(w, "spmv %v over %d calls\n", sum.SpMVTime, sum.SpMVCalls)
+			fmt.Fprintf(w, "step duration p50 %v  p90 %v  p99 %v\n", sum.StepP50, sum.StepP90, sum.StepP99)
+			kernels := make([]string, 0, len(sum.KernelTime))
+			for kernel := range sum.KernelTime {
+				kernels = append(kernels, kernel)
+			}
+			sort.Strings(kernels)
+			for _, kernel := range kernels {
+				fmt.Fprintf(w, "kernel %-20s %v over %d calls\n", kernel, sum.KernelTime[kernel], sum.KernelCalls[kernel])
+			}
+		default:
+			http.Error(w, "unknown format (want chrome, table or summary)", http.StatusBadRequest)
+		}
+	})
+	return mux
+}

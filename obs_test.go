@@ -1,0 +1,213 @@
+package blocksptrsv_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	sptrsv "github.com/sss-lab/blocksptrsv"
+	"github.com/sss-lab/blocksptrsv/internal/block"
+	"github.com/sss-lab/blocksptrsv/internal/gen"
+	"github.com/sss-lab/blocksptrsv/internal/kernels"
+	"github.com/sss-lab/blocksptrsv/internal/metrics"
+)
+
+// obsSolver builds a small preprocessed solver plus a traced solve, so
+// every endpoint has something to show.
+func obsSolver(t *testing.T) (*sptrsv.Solver[float64], *sptrsv.TraceRecorder) {
+	t.Helper()
+	l := lowerBidiagonal(400)
+	s, err := sptrsv.Analyze(l, sptrsv.DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sptrsv.NewTraceRecorder(1 << 10)
+	s.SetTrace(rec)
+	b := make([]float64, l.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, l.Rows)
+	s.Solve(b, x)
+	return s, rec
+}
+
+// lowerBidiagonal builds a simple well-conditioned lower system.
+func lowerBidiagonal(n int) *sptrsv.Matrix[float64] {
+	bld := sptrsv.NewBuilder[float64](n, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			bld.Add(i, i-1, -0.5)
+		}
+		bld.Add(i, i, 2)
+	}
+	return bld.BuildCSR()
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	res := rw.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+// TestObsHandlerMetrics: /metrics serves Prometheus text format that
+// passes the format linter and carries the library's families
+// (acceptance criterion for GET /metrics).
+func TestObsHandlerMetrics(t *testing.T) {
+	_, _ = obsSolver(t) // populate the registry with at least one solve
+	h := sptrsv.ObsHandler(sptrsv.ObsOptions{})
+	res, body := get(t, h, "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := metrics.LintPrometheusText([]byte(body)); err != nil {
+		t.Fatalf("/metrics fails the format linter: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"# TYPE blocksptrsv_solves_total counter",
+		"# TYPE blocksptrsv_solve_seconds histogram",
+		`blocksptrsv_solve_seconds_bucket{le="+Inf"}`,
+		`blocksptrsv_solve_seconds_quantile{q="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestObsHandlerEndpoints(t *testing.T) {
+	s, rec := obsSolver(t)
+	h := sptrsv.ObsHandler(sptrsv.ObsOptions{Explain: s.Explain, Trace: rec})
+
+	// Index lists every endpoint.
+	res, body := get(t, h, "/")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET / = %d", res.StatusCode)
+	}
+	for _, want := range []string{"/metrics", "/debug/vars", "/debug/pprof/", "/explain", "/trace"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %q:\n%s", want, body)
+		}
+	}
+	if res, _ := get(t, h, "/no-such-endpoint"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /no-such-endpoint = %d, want 404", res.StatusCode)
+	}
+
+	// /debug/vars is expvar: valid JSON including the published registry.
+	res, body = get(t, h, "/debug/vars")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars = %d", res.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar JSON invalid: %v", err)
+	}
+	if _, ok := vars["blocksptrsv"]; !ok {
+		t.Fatal("expvar output missing the blocksptrsv registry")
+	}
+
+	// /debug/pprof/ index works (profiles themselves are pprof's concern).
+	if res, _ := get(t, h, "/debug/pprof/"); res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d", res.StatusCode)
+	}
+
+	// /explain is the plan dump, verbatim.
+	res, body = get(t, h, "/explain")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /explain = %d", res.StatusCode)
+	}
+	if body != s.Explain() {
+		t.Fatalf("/explain differs from Solver.Explain():\n%s", body)
+	}
+
+	// /trace serves Chrome trace JSON of the recorded solve.
+	res, body = get(t, h, "/trace")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace = %d", res.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace JSON has no events despite a traced solve")
+	}
+
+	// Alternate trace renderings.
+	if res, body := get(t, h, "/trace?format=table"); res.StatusCode != http.StatusOK || !strings.Contains(body, "kernel") {
+		t.Fatalf("GET /trace?format=table = %d:\n%s", res.StatusCode, body)
+	}
+	if res, body := get(t, h, "/trace?format=summary"); res.StatusCode != http.StatusOK || !strings.Contains(body, "p99") {
+		t.Fatalf("GET /trace?format=summary = %d:\n%s", res.StatusCode, body)
+	}
+	if res, _ := get(t, h, "/trace?format=martian"); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /trace?format=martian = %d, want 400", res.StatusCode)
+	}
+}
+
+// TestObsHandlerZeroAllocSolve extends the TestTraceDisabledAllocs
+// contract across the HTTP layer: having an ObsHandler built around a
+// solver (its explain hook and a recorder, attached or not) must add
+// nothing to the solve path. Same closure-free setup as the block-level
+// test: serial kernel, single triangle, one worker.
+func TestObsHandlerZeroAllocSolve(t *testing.T) {
+	l := gen.Banded(2000, 8, 0.2, 5)
+	s, err := block.Preprocess(l, block.Options{
+		Workers: 1, Kind: block.Recursive, MinBlockRows: l.Rows,
+		ForceTri: kernels.TriSerial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.RandVec(l.Rows, 3)
+	x := make([]float64, l.Rows)
+
+	// Serving wired up but tracing disabled: the solve path still pays
+	// only the nil-recorder check.
+	rec := sptrsv.NewTraceRecorder(1 << 12)
+	h := sptrsv.ObsHandler(sptrsv.ObsOptions{Explain: s.Explain, Trace: rec})
+	if allocs := testing.AllocsPerRun(100, func() { s.Solve(b, x) }); allocs != 0 {
+		t.Fatalf("solve with observability serving disabled allocates %.0f objects per run, want 0", allocs)
+	}
+
+	// Tracing armed into the served recorder: still allocation-free.
+	s.SetTrace(rec)
+	if allocs := testing.AllocsPerRun(100, func() { s.Solve(b, x) }); allocs != 0 {
+		t.Fatalf("solve with observability serving enabled allocates %.0f objects per run, want 0", allocs)
+	}
+
+	// And the served endpoints see the solves that just ran.
+	if res, body := get(t, h, "/trace?format=summary"); res.StatusCode != http.StatusOK || !strings.Contains(body, "solves") {
+		t.Fatalf("GET /trace?format=summary after solves = %d:\n%s", res.StatusCode, body)
+	}
+}
+
+// TestObsHandlerUnconfigured: the solver-specific endpoints answer 404
+// until a source is configured; the process-wide ones always work.
+func TestObsHandlerUnconfigured(t *testing.T) {
+	h := sptrsv.ObsHandler(sptrsv.ObsOptions{})
+	if res, _ := get(t, h, "/explain"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /explain = %d, want 404", res.StatusCode)
+	}
+	if res, _ := get(t, h, "/trace"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /trace = %d, want 404", res.StatusCode)
+	}
+	if res, _ := get(t, h, "/metrics"); res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", res.StatusCode)
+	}
+}
