@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tmpModule writes a throwaway module with three packages: clean (no
+// findings), dirty (a dropped error and a bare spin loop), and broken
+// (does not compile). Tests drive run() against it to pin the exit-code
+// contract.
+func tmpModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tmpmod\n\ngo 1.24\n",
+		"clean/clean.go": `package clean
+
+func Double(x []float64) {
+	for i := range x {
+		x[i] *= 2
+	}
+}
+`,
+		"dirty/dirty.go": `package dirty
+
+import "sync/atomic"
+
+func ValidateThing(n int) error { return nil }
+
+func drop(n int) {
+	ValidateThing(n)
+}
+
+func spin(v *atomic.Int32) {
+	for v.Load() != 0 {
+	}
+}
+`,
+		"broken/broken.go": `package broken
+
+func f() int { return undefinedSymbol }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodeClean(t *testing.T) {
+	dir := tmpModule(t)
+	code, stdout, stderr := runLint(t, "-C", dir, "./clean/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed %q", stdout)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := tmpModule(t)
+	code, stdout, _ := runLint(t, "-C", dir, "./dirty/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q", code, stdout)
+	}
+	for _, needle := range []string{"errdrop", "spinguard", "dirty.go"} {
+		if !strings.Contains(stdout, needle) {
+			t.Errorf("stdout missing %q:\n%s", needle, stdout)
+		}
+	}
+}
+
+func TestExitCodeLoadError(t *testing.T) {
+	dir := tmpModule(t)
+	code, _, stderr := runLint(t, "-C", dir, "./broken/...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stderr, "undefinedSymbol") {
+		t.Errorf("stderr does not carry the compiler message: %q", stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := tmpModule(t)
+	code, stdout, _ := runLint(t, "-json", "-C", dir, "./dirty/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("got %d diagnostics, want >= 2 (errdrop + spinguard)", len(diags))
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d.Analyzer] = true
+		if d.File == "" || d.Line <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	if !seen["errdrop"] || !seen["spinguard"] {
+		t.Errorf("analyzers seen = %v, want errdrop and spinguard", seen)
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	dir := tmpModule(t)
+	code, stdout, _ := runLint(t, "-json", "-C", dir, "./clean/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout)
+	}
+}
+
+func TestOnlySelectsAnalyzers(t *testing.T) {
+	dir := tmpModule(t)
+	code, stdout, _ := runLint(t, "-only", "errdrop", "-C", dir, "./dirty/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "errdrop") {
+		t.Errorf("stdout missing errdrop finding:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "spinguard") {
+		t.Errorf("-only errdrop still ran spinguard:\n%s", stdout)
+	}
+}
+
+func TestOnlyUnknownAnalyzer(t *testing.T) {
+	dir := tmpModule(t)
+	code, _, stderr := runLint(t, "-only", "nosuch", "-C", dir, "./clean/...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown analyzer message", stderr)
+	}
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces the two layout/access invariants of the sync-free
+// counter machinery (DESIGN.md §3.3, PR 1):
+//
+//  1. A struct field whose address is ever handed to a sync/atomic
+//     function must be accessed through sync/atomic everywhere in the
+//     package — one plain read of an atomically-written in-degree
+//     counter is a data race the race detector only catches when the
+//     interleaving cooperates.
+//
+//  2. In a padded cache-line struct (one containing pad fields: blank
+//     array fields or fields named pad*), the fields of a pad group that
+//     holds an atomic counter must fit in one 64-byte cache line —
+//     otherwise the padding fails at its only job and the counter
+//     false-shares with its neighbours.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "atomic fields must be accessed atomically everywhere and stay inside their cache-line pad group",
+	Run:  runAtomicMix,
+}
+
+// cacheLineBytes is the isolation unit the pad-group rule checks
+// against; sizes are computed with the gc/amd64 layout for determinism
+// across build hosts.
+const cacheLineBytes = 64
+
+var amd64Sizes = types.SizesFor("gc", "amd64")
+
+func runAtomicMix(pass *Pass) {
+	marked := map[*types.Var]bool{}            // fields sanctioned by &f → sync/atomic
+	sanctioned := map[*ast.SelectorExpr]bool{} // selector nodes inside those calls
+	addrTaken := map[*ast.SelectorExpr]bool{}  // &s.f for any other purpose
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.UnaryExpr:
+				if t.Op == token.AND {
+					if sel, ok := ast.Unparen(t.X).(*ast.SelectorExpr); ok {
+						addrTaken[sel] = true
+					}
+				}
+			case *ast.CallExpr:
+				f := calleeFunc(pass.Info, t)
+				if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" || len(t.Args) == 0 {
+					return true
+				}
+				un, ok := ast.Unparen(t.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					if fv := fieldOf(pass.Info, sel); fv != nil {
+						marked[fv] = true
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] || addrTaken[sel] {
+				return true
+			}
+			fv := fieldOf(pass.Info, sel)
+			if fv == nil || !marked[fv] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this direct access is racy", fv.Name())
+			return true
+		})
+	}
+
+	checkPadGroups(pass, marked)
+}
+
+// checkPadGroups verifies rule 2 over every named struct type declared
+// in the package.
+func checkPadGroups(pass *Pass, marked map[*types.Var]bool) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok || st.NumFields() == 0 {
+				return true
+			}
+			checkStructPads(pass, st, marked)
+			return true
+		})
+	}
+}
+
+func checkStructPads(pass *Pass, st *types.Struct, marked map[*types.Var]bool) {
+	n := st.NumFields()
+	fields := make([]*types.Var, n)
+	hasPad := false
+	for i := 0; i < n; i++ {
+		fields[i] = st.Field(i)
+		if isPadField(fields[i]) {
+			hasPad = true
+		}
+	}
+	if !hasPad {
+		return
+	}
+	offsets := amd64Sizes.Offsetsof(fields)
+	start := 0
+	for i := 0; i <= n; i++ {
+		if i < n && !isPadField(fields[i]) {
+			continue
+		}
+		group := fields[start:i]
+		if atomicField := firstAtomicField(group, marked); atomicField != nil && len(group) > 0 {
+			last := group[len(group)-1]
+			extent := offsets[start+len(group)-1] + amd64Sizes.Sizeof(last.Type()) - offsets[start]
+			if extent > cacheLineBytes {
+				pass.Reportf(atomicField.Pos(),
+					"pad group holding atomic field %s spans %d bytes, more than one %d-byte cache line",
+					atomicField.Name(), extent, cacheLineBytes)
+			}
+		}
+		start = i + 1
+	}
+}
+
+// isPadField matches the repo's padding idioms: blank array fields
+// (`_ [60]byte`) and fields named pad*.
+func isPadField(f *types.Var) bool {
+	if f.Name() == "_" {
+		_, isArr := types.Unalias(f.Type()).Underlying().(*types.Array)
+		return isArr
+	}
+	return strings.HasPrefix(strings.ToLower(f.Name()), "pad")
+}
+
+// firstAtomicField returns the first field in the group that is a typed
+// sync/atomic value (atomic.Int64 etc., directly or as array element)
+// or was sanctioned for sync/atomic access, or nil.
+func firstAtomicField(group []*types.Var, marked map[*types.Var]bool) *types.Var {
+	for _, f := range group {
+		if marked[f] || isAtomicType(f.Type()) {
+			return f
+		}
+	}
+	return nil
+}
+
+func isAtomicType(t types.Type) bool {
+	t = types.Unalias(t)
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isAtomicType(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it reads or writes,
+// or nil for method selections and package-qualified identifiers.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded errors from this module's own error-returning
+// APIs: validators (Validate*, Check*), context constructors
+// (SolveContext), the perf gate (Gate), and encoders/IO (Encode*,
+// Marshal*, Write*, Read*, Parse*). These errors are the guarded solve
+// path's only failure channel — dropping one turns a diagnosed
+// structural defect into a silent wrong answer. Standard-library callees
+// are out of scope (errcheck territory); this analyzer patrols the
+// module boundary.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "errors returned by module Validate*/SolveContext/Gate/encoder APIs must not be discarded",
+	Run:  runErrDrop,
+}
+
+var errDropPrefixes = []string{"Validate", "Check", "Encode", "Marshal", "Write", "Read", "Parse"}
+
+var errDropExact = map[string]bool{
+	"SolveContext": true,
+	"Gate":         true,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := t.X.(*ast.CallExpr); ok {
+					checkErrDropCall(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				checkErrDropCall(pass, t.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				checkErrDropCall(pass, t.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				checkErrDropAssign(pass, t)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrDropCall reports a watched call whose entire result list is
+// thrown away.
+func checkErrDropCall(pass *Pass, call *ast.CallExpr, how string) {
+	f := watchedCallee(pass, call)
+	if f == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "error returned by %s %s", f.FullName(), how)
+}
+
+// checkErrDropAssign reports a watched call whose error result lands in
+// the blank identifier.
+func checkErrDropAssign(pass *Pass, as *ast.AssignStmt) {
+	// Only the single-call form a, b, _ := f() maps results to LHS slots.
+	if len(as.Rhs) != 1 || len(as.Lhs) < 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	f := watchedCallee(pass, call)
+	if f == nil {
+		return
+	}
+	sig, ok := types.Unalias(f.Type()).(*types.Signature)
+	if !ok || sig.Results().Len() != len(as.Lhs) {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(last.Pos(), "error returned by %s assigned to _", f.FullName())
+	}
+}
+
+// watchedCallee resolves a call to a module (non-stdlib) function whose
+// last result is an error and whose name matches the watched API
+// surface, or nil.
+func watchedCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	f := calleeFunc(pass.Info, call)
+	if f == nil {
+		return nil
+	}
+	pkg := f.Origin().Pkg()
+	if pkg == nil || pass.Facts.Std[pkg.Path()] {
+		return nil
+	}
+	sig, ok := types.Unalias(f.Type()).(*types.Signature)
+	if !ok || sig.Results() == nil || sig.Results().Len() == 0 {
+		return nil
+	}
+	if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return nil
+	}
+	if !watchedName(f.Name()) {
+		return nil
+	}
+	return f
+}
+
+func watchedName(name string) bool {
+	if errDropExact[name] {
+		return true
+	}
+	for _, p := range errDropPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

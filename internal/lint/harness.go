@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The golden harness runs one analyzer over a testdata package and
+// checks its diagnostics against `// want "regexp"` expectation comments
+// in the sources, analysistest-style: every diagnostic must match an
+// expectation on its line and every expectation must be matched. It
+// returns the number of findings //lint:ignore suppressed so tests can
+// assert the suppression path is exercised too.
+
+// TB is the subset of *testing.T the harness needs; taking an interface
+// keeps the testing package out of the analyzer binary.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunGolden runs analyzer a over testdata/<dir> under the import path
+// example.com/<dir>.
+func RunGolden(t TB, a *Analyzer, dir string) int {
+	t.Helper()
+	return RunGoldenAs(t, a, dir, "example.com/"+dir)
+}
+
+// RunGoldenAs is RunGolden with an explicit import path, for analyzers
+// whose scope depends on it (nowallclock keys on .../internal/kernels).
+func RunGoldenAs(t TB, a *Analyzer, dir, importPath string) int {
+	t.Helper()
+	pkgDir := filepath.Join("testdata", dir)
+	names, err := goFileNames(pkgDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", pkgDir, err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no .go files in %s", pkgDir)
+	}
+
+	imports, err := importsOf(pkgDir, names)
+	if err != nil {
+		t.Fatalf("scanning imports of %s: %v", pkgDir, err)
+	}
+	exports, std, _, err := goListExport(pkgDir, imports)
+	if err != nil {
+		t.Fatalf("loading dependency export data: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := checkPackage(fset, exportImporter(fset, exports), importPath, pkgDir, names)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", pkgDir, err)
+	}
+
+	facts := CollectFacts([]*Package{pkg}, std)
+	diags, suppressed := RunAnalyzers(fset, []*Package{pkg}, []*Analyzer{a}, facts)
+	matchWants(t, fset, pkg, diags)
+	return suppressed
+}
+
+// goFileNames lists the non-test .go files of a directory, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// importsOf parses just the import clauses of the package files.
+func importsOf(dir string, names []string) ([]string, error) {
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var imports []string
+	for _, name := range names {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range af.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	sort.Strings(imports)
+	return imports, nil
+}
+
+// want is one parsed expectation comment pattern.
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// matchWants cross-checks diagnostics against the package's // want
+// comments.
+func matchWants(t TB, fset *token.FileSet, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := map[string]map[int][]*want{} // file -> line -> expectations
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				pats, isWant, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", fset.Position(c.Pos()), err)
+				}
+				if !isWant {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := wants[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*want{}
+					wants[pos.Filename] = byLine
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], &want{re: re, raw: p})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		hit := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", file, line, w.raw)
+				}
+			}
+		}
+	}
+}
+
+// parseWant parses a `// want "re" "re"...` comment. isWant is false
+// for ordinary comments; err is non-nil for a want comment whose
+// patterns don't parse as Go string literals.
+func parseWant(text string) (patterns []string, isWant bool, err error) {
+	rest, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false, nil
+	}
+	rest = strings.TrimSpace(rest)
+	rest, ok = strings.CutPrefix(rest, "want")
+	if !ok {
+		return nil, false, nil
+	}
+	if rest == "" {
+		return nil, true, fmt.Errorf("malformed want comment %q: no patterns", text)
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false, nil // e.g. "// wanted", not an expectation
+	}
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, true, fmt.Errorf("malformed want comment %q: %v", text, err)
+		}
+		p, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, true, fmt.Errorf("malformed want comment %q: %v", text, err)
+		}
+		patterns = append(patterns, p)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return patterns, true, nil
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and fully type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load is the result of LoadPackages: the target packages plus the
+// standard-library membership of everything in their import closure.
+type Load struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	Std  map[string]bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// LoadPackages loads the packages matching patterns (resolved relative to
+// dir), parses their sources with comments, and type-checks them against
+// the export data of their dependencies. It shells out to `go list
+// -export -deps -json`, which builds whatever export data is missing, so
+// a load error is exactly a build error and carries the compiler's
+// message.
+func LoadPackages(dir string, patterns []string) (*Load, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exports, std, targets, err := goListExport(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %s: matched no packages", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	ld := &Load{Fset: fset, Std: std}
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		ld.Pkgs = append(ld.Pkgs, pkg)
+	}
+	return ld, nil
+}
+
+// goListExport shells out to `go list -export -deps -json` and returns
+// the export-data index, the standard-library membership set, and the
+// non-DepOnly non-std target packages the patterns matched. The harness
+// calls it with a testdata package's import list (all std), in which
+// case targets is empty and only the first two results matter.
+func goListExport(dir string, patterns []string) (exports map[string]string, std map[string]bool, targets []listPkg, err error) {
+	exports = map[string]string{}
+	std = map[string]bool{}
+	if len(patterns) == 0 {
+		return exports, std, nil, nil
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, nil, nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, nil, nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard {
+			std[p.ImportPath] = true
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	return exports, std, targets, nil
+}
+
+// exportImporter builds a gc importer reading the export files goListExport
+// indexed.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+}
+
+// checkPackage parses and type-checks one package from explicit file
+// lists (the loader's GoFiles, or a testdata directory via the harness).
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

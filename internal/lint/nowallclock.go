@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoWallClock bans wall-clock reads (time.Now, time.Since) where they
+// distort the measurement they feed or add syscall jitter to the solve
+// path: everywhere in internal/kernels and internal/exec, and in any
+// //sptrsv:hotpath function elsewhere. The designated measurement
+// sites — launch-cost calibration, the solve-clock shim, trace capture
+// boundaries — carry //sptrsv:wallclock and are exempt. Everything else
+// should derive timing from those sites' outputs instead of sampling
+// the clock again mid-kernel.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "ban time.Now/time.Since in kernels, launchers, and hot-path functions outside //sptrsv:wallclock sites",
+	Run:  runNoWallClock,
+}
+
+// wallclockScopedSuffixes are the package-path suffixes where the ban
+// applies to every function, annotated or not.
+var wallclockScopedSuffixes = []string{"internal/kernels", "internal/exec"}
+
+func runNoWallClock(pass *Pass) {
+	inScopePkg := false
+	for _, suf := range wallclockScopedSuffixes {
+		if strings.HasSuffix(pass.Pkg.Path(), suf) {
+			inScopePkg = true
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := astFuncKey(pass.Pkg.Path(), fd)
+			if pass.Facts.Wallclock[key] {
+				continue
+			}
+			if !inScopePkg && !pass.Facts.Hotpath[key] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.Info, call)
+				if f == nil || pkgPathOf(f) != "time" {
+					return true
+				}
+				if f.Name() == "Now" || f.Name() == "Since" {
+					pass.Reportf(call.Pos(), "time.%s outside a //sptrsv:wallclock measurement site", f.Name())
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpinGuard keeps busy-waits cancellable (DESIGN.md §4.4, PR 2): a for
+// loop that polls an atomic — an unconditional `for { ... Load ... }` or
+// a loop whose condition performs an atomic load — must contain at least
+// one of:
+//
+//   - a scheduling yield (runtime.Gosched, time.Sleep),
+//   - a blocking construct (select, channel send/receive, sync
+//     Wait/Lock),
+//   - a store-side atomic barrier (Store/Add/Swap/CompareAndSwap/Or/And
+//     — a CAS retry loop makes progress by publishing), or
+//   - a poison-flag check (Tripped/ReportStall on an exec.Guard).
+//
+// Without one of these the spinner can monopolise its P forever when a
+// worker dies, which is exactly the deadlock the guarded solve path
+// exists to prevent.
+var SpinGuard = &Analyzer{
+	Name: "spinguard",
+	Doc:  "busy-wait loops doing atomic loads must yield, block, publish, or check a Guard poison flag",
+	Run:  runSpinGuard,
+}
+
+func runSpinGuard(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			spins := false
+			if loop.Cond != nil {
+				spins = hasAtomicLoad(pass.Info, loop.Cond)
+			} else {
+				spins = hasAtomicLoad(pass.Info, loop.Body)
+			}
+			if !spins {
+				return true
+			}
+			if hasPacifier(pass.Info, loop.Cond) || hasPacifier(pass.Info, loop.Post) || hasPacifier(pass.Info, loop.Body) {
+				return true
+			}
+			pass.Reportf(loop.For, "busy-wait loop polls an atomic without runtime.Gosched, a blocking op, a store-side barrier, or a Guard check")
+			return true
+		})
+	}
+}
+
+// hasAtomicLoad reports whether the subtree (not descending into nested
+// function literals) performs an atomic load: a sync/atomic Load*
+// function or a Load method on a sync/atomic typed value.
+func hasAtomicLoad(info *types.Info, n ast.Node) bool {
+	return scanCalls(info, n, func(f *types.Func) bool {
+		if pkgPathOf(f) == "sync/atomic" && strings.HasPrefix(f.Name(), "Load") {
+			return true
+		}
+		return f.Name() == "Load" && recvPkgPath(f) == "sync/atomic"
+	}, nil)
+}
+
+// hasPacifier reports whether the subtree contains any construct that
+// yields, blocks, publishes, or checks a Guard poison flag.
+func hasPacifier(info *types.Info, n ast.Node) bool {
+	return scanCalls(info, n, pacifierCall, func(m ast.Node) bool {
+		switch t := m.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			return true
+		case *ast.UnaryExpr:
+			return t.Op == token.ARROW
+		}
+		return false
+	})
+}
+
+func pacifierCall(f *types.Func) bool {
+	pkg := pkgPathOf(f)
+	name := f.Name()
+	switch {
+	case pkg == "runtime" && name == "Gosched":
+		return true
+	case pkg == "time" && name == "Sleep":
+		return true
+	case pkg == "sync/atomic" && isStoreSideName(name):
+		return true
+	case recvPkgPath(f) == "sync/atomic" && isStoreSideName(name):
+		return true
+	case recvPkgPath(f) == "sync" && (name == "Wait" || name == "Lock" || name == "RLock"):
+		return true
+	case recvBaseTypeName(f) == "Guard" && (name == "Tripped" || name == "ReportStall"):
+		return true
+	}
+	return false
+}
+
+func isStoreSideName(name string) bool {
+	for _, p := range []string{"Store", "Add", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanCalls walks the subtree looking for a matching static callee (or
+// a matching non-call node, when nodeMatch is non-nil), skipping nested
+// function literals: a closure that is merely defined inside the loop
+// neither loads nor pacifies.
+func scanCalls(info *types.Info, n ast.Node, callMatch func(*types.Func) bool, nodeMatch func(ast.Node) bool) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if nodeMatch != nil && nodeMatch(m) {
+			found = true
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if f := calleeFunc(info, call); f != nil && callMatch(f) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pkgPathOf returns the import path of the package a function belongs
+// to, or "".
+func pkgPathOf(f *types.Func) string {
+	if pkg := f.Origin().Pkg(); pkg != nil {
+		return pkg.Path()
+	}
+	return ""
+}
+
+// recvPkgPath returns the import path of the package defining a
+// method's receiver type, or "" for plain functions.
+func recvPkgPath(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// recvBaseTypeName returns the name of a method's receiver base type,
+// or "".
+func recvBaseTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return namedBaseName(sig.Recv().Type())
+}

@@ -1,0 +1,49 @@
+// Package atomicmix is golden-test input: fields accessed both through
+// sync/atomic and directly, and padded structs whose pad groups overflow
+// a cache line.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func report(c *counters) int64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere; this direct access is racy`
+}
+
+func reset(c *counters) {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere; this direct access is racy`
+	c.total = 0
+}
+
+// snapshotUnderLock reads hits non-atomically by design: the registry
+// lock excludes writers for the duration of the snapshot.
+func snapshotUnderLock(c *counters) int64 {
+	//lint:ignore atomicmix caller holds the registry lock, excluding all writers
+	return c.hits
+}
+
+// padded's pad group is 88 bytes: the atomic counter false-shares with
+// the tail of big.
+type padded struct {
+	a   atomic.Int64 // want `pad group holding atomic field a spans 88 bytes, more than one 64-byte cache line`
+	big [80]byte
+	_   [40]byte
+}
+
+// paddedOK isolates its counter correctly: 4-byte counter, 60-byte pad.
+type paddedOK struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+func use(p *padded, q *paddedOK) int64 {
+	return p.a.Load() + int64(q.v.Load())
+}

@@ -1,0 +1,50 @@
+// Package errdrop is golden-test input: module-style error-returning
+// APIs whose errors are discarded, handled, or deliberately ignored.
+package errdrop
+
+import "errors"
+
+var errBad = errors.New("bad")
+
+func ValidateMatrix(n int) error {
+	if n < 0 {
+		return errBad
+	}
+	return nil
+}
+
+func SolveContext(n int) (int, error) { return n, nil }
+
+func Gate(name string) error { return nil }
+
+func WriteTable(n int) error { return nil }
+
+func helper() {}
+
+func useAll(n int) int {
+	ValidateMatrix(n)         // want `error returned by example.com/errdrop.ValidateMatrix discarded`
+	ctx, _ := SolveContext(n) // want `error returned by example.com/errdrop.SolveContext assigned to _`
+	defer WriteTable(n)       // want `error returned by example.com/errdrop.WriteTable discarded by defer`
+	go Gate("warmup")         // want `error returned by example.com/errdrop.Gate discarded by go statement`
+	helper()
+	return ctx
+}
+
+func handled(n int) error {
+	if err := ValidateMatrix(n); err != nil {
+		return err
+	}
+	ctx, err := SolveContext(n)
+	if err != nil {
+		return err
+	}
+	_ = ctx
+	return Gate("ok")
+}
+
+// bestEffort dumps the table to a debug endpoint where a failed write
+// has nowhere to go.
+func bestEffort(n int) {
+	//lint:ignore errdrop table dump on the debug endpoint is best-effort
+	WriteTable(n)
+}

@@ -1,0 +1,120 @@
+// Package hotpathalloc is golden-test input: allocation patterns inside
+// //sptrsv:hotpath functions, plus the sanctioned shapes (launch bodies,
+// annotated callees, cold panic paths) that must stay clean.
+package hotpathalloc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool mimics exec.SpinPool's launch surface; function literals passed
+// to Run/ParallelFor are the one sanctioned per-launch closure.
+type Pool struct{ workers int }
+
+func (p *Pool) Run(body func(w int))                     { body(0) }
+func (p *Pool) ParallelFor(n int, body func(lo, hi int)) { body(0, n) }
+
+//sptrsv:hotpath
+func kernelOK(x []float64, c *atomic.Int64) {
+	for i := range x {
+		x[i] *= 2
+	}
+	c.Add(1)
+}
+
+//sptrsv:hotpath
+func kernelAppend(x []float64) []float64 {
+	return append(x, 1) // want `hot path calls append, which allocates on growth`
+}
+
+//sptrsv:hotpath
+func kernelLiterals() int {
+	s := []int{1, 2, 3}   // want `hot path allocates: slice composite literal`
+	m := map[string]int{} // want `hot path allocates: map composite literal`
+	return len(s) + len(m)
+}
+
+//sptrsv:hotpath
+func kernelMake(n int) int {
+	buf := make([]float64, n) // want `hot path allocates: make\(slice\)`
+	return len(buf)
+}
+
+//sptrsv:hotpath
+func kernelFmt(n int) {
+	fmt.Println(n) // want `hot path calls fmt.Println, which is neither //sptrsv:hotpath nor whitelisted`
+}
+
+//sptrsv:hotpath
+func kernelClosure(xs []float64) func() {
+	f := func() { xs[0] = 1 } // want `hot path allocates: closure captures xs`
+	return f
+}
+
+//sptrsv:hotpath
+func kernelConcat(a, b string) string {
+	return a + b // want `hot path allocates: string concatenation`
+}
+
+//sptrsv:hotpath
+func kernelBox(v float64) any {
+	return v // want `hot path allocates: float64 boxed into interface`
+}
+
+//sptrsv:hotpath
+func kernelGo(xs []float64) {
+	go kernelOK(xs, nil) // want `hot path launches a goroutine`
+}
+
+// kernelGeneric converts through a type parameter: T's underlying type is
+// its constraint interface, but no interface value exists at runtime, so
+// the conversion must stay clean.
+//
+//sptrsv:hotpath
+func kernelGeneric[T float32 | float64](v uint64) T {
+	return T(v)
+}
+
+func plainHelper() {}
+
+//sptrsv:hotpath
+func callsPlain() {
+	plainHelper() // want `hot path calls example.com/hotpathalloc.plainHelper, which is neither //sptrsv:hotpath nor whitelisted`
+}
+
+// launchBody hands the pool its per-launch closure: the capture of xs is
+// sanctioned, the body itself is still checked.
+//
+//sptrsv:hotpath
+func launchBody(p *Pool, xs []float64) {
+	p.Run(func(w int) {
+		xs[w] = 0
+	})
+}
+
+// callsAnnotated may call kernelOK because it carries the pragma too.
+//
+//sptrsv:hotpath
+func callsAnnotated(x []float64, c *atomic.Int64) {
+	kernelOK(x, c)
+}
+
+// coldPanic's panic argument is cold code: fmt.Sprintf there is fine.
+//
+//sptrsv:hotpath
+func coldPanic(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	return n
+}
+
+// falsePositive grows a scratch slice once at setup time; the growth is
+// amortised across every later solve, so the finding is suppressed.
+//
+//sptrsv:hotpath
+func falsePositive(xs []float64) []float64 {
+	//lint:ignore hotpathalloc setup-time growth, amortised across all later solves
+	return append(xs, 0)
+}

@@ -1,0 +1,40 @@
+// Package kernels is golden-test input for nowallclock; the harness
+// loads it under an import path ending in internal/kernels, so the
+// wall-clock ban applies to every function here unless //sptrsv:wallclock
+// lifts it.
+package kernels
+
+import "time"
+
+func levelSolve(x []float64) int64 {
+	t0 := time.Now() // want `time.Now outside a //sptrsv:wallclock measurement site`
+	for i := range x {
+		x[i]++
+	}
+	return t0.UnixNano()
+}
+
+func stepDuration(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since outside a //sptrsv:wallclock measurement site`
+}
+
+//sptrsv:hotpath
+func hotTimer() int64 {
+	return time.Now().UnixNano() // want `time.Now outside a //sptrsv:wallclock measurement site`
+}
+
+// measureLaunch is the designated measurement site: exempt.
+//
+//sptrsv:wallclock
+func measureLaunch(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// traceBoundary predates the wallclock pragma; the suppression records
+// why it is allowed to stay.
+func traceBoundary() time.Time {
+	//lint:ignore nowallclock trace capture boundary, stamped once per solve not per row
+	return time.Now()
+}

@@ -1,0 +1,73 @@
+// Package spinguard is golden-test input: busy-wait loops with and
+// without a yield, a blocking op, a store-side barrier, or a Guard
+// poison-flag check.
+package spinguard
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Guard mimics exec.Guard's poison-flag surface.
+type Guard struct{ tripped atomic.Bool }
+
+func (g *Guard) Tripped() bool { return g.tripped.Load() }
+
+func spinBare(v *atomic.Int32) {
+	for v.Load() != 0 { // want `busy-wait loop polls an atomic without runtime.Gosched, a blocking op, a store-side barrier, or a Guard check`
+	}
+}
+
+func spinRawBare(p *int32) {
+	for atomic.LoadInt32(p) != 0 { // want `busy-wait loop polls an atomic`
+	}
+}
+
+func spinInfinite(v *atomic.Int64, target int64) {
+	for { // want `busy-wait loop polls an atomic`
+		if v.Load() >= target {
+			return
+		}
+	}
+}
+
+func spinGosched(v *atomic.Int32) {
+	spins := 0
+	for v.Load() != 0 {
+		spins++
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func spinGuarded(v *atomic.Int32, g *Guard) {
+	for v.Load() != 0 {
+		if g.Tripped() {
+			return
+		}
+	}
+}
+
+func casLoop(p *uint64, add uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if atomic.CompareAndSwapUint64(p, old, old+add) {
+			return
+		}
+	}
+}
+
+func recvLoop(v *atomic.Int32, wake chan struct{}) {
+	for v.Load() != 0 {
+		<-wake
+	}
+}
+
+// spinMicrobench measures raw uncontended spin latency; the harness
+// bounds it externally, so the missing yield is intentional.
+func spinMicrobench(v *atomic.Int32) {
+	//lint:ignore spinguard bounded by the bench harness, measures raw spin latency
+	for v.Load() != 0 {
+	}
+}
