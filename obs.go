@@ -67,7 +67,12 @@ func ObsHandler(o ObsOptions) http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		metrics.WritePrometheus(w)
+		if err := metrics.WritePrometheus(w); err != nil {
+			// Surfaces a scrape that failed before any byte was sent; a
+			// mid-stream failure means the client is gone and the extra
+			// status line is discarded with the rest.
+			http.Error(w, "metrics write failed: "+err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -91,10 +96,14 @@ func ObsHandler(o ObsOptions) http.Handler {
 		switch r.URL.Query().Get("format") {
 		case "", "chrome", "json":
 			w.Header().Set("Content-Type", "application/json")
-			o.Trace.WriteChromeTrace(w)
+			if err := o.Trace.WriteChromeTrace(w); err != nil {
+				http.Error(w, "trace write failed: "+err.Error(), http.StatusInternalServerError)
+			}
 		case "table":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			o.Trace.WriteTable(w)
+			if err := o.Trace.WriteTable(w); err != nil {
+				http.Error(w, "trace write failed: "+err.Error(), http.StatusInternalServerError)
+			}
 		case "summary":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			sum := o.Trace.Summarize()
