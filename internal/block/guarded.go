@@ -157,9 +157,7 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 	}
 	stats.Solves++
 	mSolves.Inc()
-	if timed {
-		mSolveTime.Observe(time.Since(solveT0))
-	}
+	observeSolveTime(timed, solveT0)
 	if s.opts.VerifyResidual > 0 {
 		return s.verifyAndRecover(b, x, w, xpScratch, states, gs, stats)
 	}
@@ -168,7 +166,11 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 
 // solveStepsGuarded mirrors solveSteps with a guard check between blocks
 // and guarded kernels inside them. It reports whether the schedule ran to
-// completion; on false the guard holds the cause.
+// completion; on false the guard holds the cause. Like solveSteps, the
+// per-step clock reads make the whole function a measurement site.
+//
+//sptrsv:hotpath
+//sptrsv:wallclock
 func (s *Solver[T]) solveStepsGuarded(w, xp []T, states []*kernels.SyncFreeState, g *exec.Guard, stats *SolveStats, sid int64) bool {
 	rec := s.opts.Trace
 	instrument := s.opts.Instrument
@@ -227,6 +229,7 @@ func (s *Solver[T]) solveStepsGuarded(w, xp []T, states []*kernels.SyncFreeState
 	return !g.Tripped()
 }
 
+//sptrsv:hotpath
 func (s *Solver[T]) solveTriGuarded(tb *triBlock[T], w, x []T, state *kernels.SyncFreeState, g *exec.Guard) bool {
 	switch tb.kernel {
 	case kernels.TriCompletelyParallel:

@@ -60,6 +60,8 @@ func (ses *Session[T]) ResetStats() { ses.stats = SolveStats{} }
 // Solve computes x with L·x = b using this session's private scratch.
 // Sessions of the same Solver may call Solve concurrently; a single
 // Session must not.
+//
+//sptrsv:hotpath
 func (ses *Session[T]) Solve(b, x []T) {
 	ses.s.solveWith(b, x, ses.wp, ses.xp, ses.states, &ses.stats)
 }

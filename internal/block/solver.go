@@ -78,7 +78,7 @@ type Solver[T sparse.Float] struct {
 	n        int
 	opts     Options
 	pool     exec.Launcher
-	perm     []int // newIdx[original] = permuted position; nil without reorder
+	perm     []int          // newIdx[original] = permuted position; nil without reorder
 	orig     *sparse.CSR[T] // caller's matrix, for residual checks and fallback; nil when deserialised
 	tris     []triBlock[T]
 	sqs      []sqBlock[T]
@@ -429,6 +429,8 @@ func (s *Solver[T]) ResetStats() { s.stats = SolveStats{} }
 // Solve computes x with L·x = b. b is not modified; b and x may be the
 // same slice. Not safe for concurrent use — the solver owns scratch state;
 // use NewSession for concurrent solving over the same analysis.
+//
+//sptrsv:hotpath
 func (s *Solver[T]) Solve(b, x []T) {
 	s.solveWith(b, x, s.wp, s.xp, nil, &s.stats)
 }
@@ -437,6 +439,8 @@ func (s *Solver[T]) Solve(b, x []T) {
 // (xp only used when a permutation is active), states optionally overrides
 // the per-block sync-free states (sessions pass their own), and stats
 // receives instrumentation.
+//
+//sptrsv:hotpath
 func (s *Solver[T]) solveWith(b, x, w, xpScratch []T, states []*kernels.SyncFreeState, stats *SolveStats) {
 	if len(b) != s.n || len(x) != s.n {
 		panic(fmt.Sprintf("block: Solve got len(b)=%d len(x)=%d want %d", len(b), len(x), s.n))
@@ -455,6 +459,16 @@ func (s *Solver[T]) solveWith(b, x, w, xpScratch []T, states []*kernels.SyncFree
 	}
 	stats.Solves++
 	mSolves.Inc()
+	observeSolveTime(timed, t0)
+}
+
+// observeSolveTime feeds the solve-latency histogram. It is the one
+// sanctioned clock read on the way out of a solve, shared by the plain
+// and guarded paths.
+//
+//sptrsv:hotpath
+//sptrsv:wallclock
+func observeSolveTime(timed bool, t0 time.Time) {
 	if timed {
 		mSolveTime.Observe(time.Since(t0))
 	}
@@ -463,6 +477,9 @@ func (s *Solver[T]) solveWith(b, x, w, xpScratch []T, states []*kernels.SyncFree
 // solveClock reads the clock for the solve-latency histogram on solves
 // that already pay for timestamps (instrumented or traced); plain solves
 // skip even the clock reads.
+//
+//sptrsv:hotpath
+//sptrsv:wallclock
 func (s *Solver[T]) solveClock() (bool, time.Time) {
 	if s.opts.Instrument || s.opts.Trace != nil {
 		return true, time.Now()
@@ -471,6 +488,8 @@ func (s *Solver[T]) solveClock() (bool, time.Time) {
 }
 
 // beginTrace assigns the solve id for an attached recorder (0 = untraced).
+//
+//sptrsv:hotpath
 func (s *Solver[T]) beginTrace() int64 {
 	if s.opts.Trace == nil {
 		return 0
@@ -478,6 +497,12 @@ func (s *Solver[T]) beginTrace() int64 {
 	return s.opts.Trace.beginSolve()
 }
 
+// solveSteps walks the execution plan. The per-step clock reads feed the
+// trace ring and the instrumentation counters, so the whole function is a
+// measurement site.
+//
+//sptrsv:hotpath
+//sptrsv:wallclock
 func (s *Solver[T]) solveSteps(w, xp []T, states []*kernels.SyncFreeState, instrument bool, stats *SolveStats, sid int64) {
 	rec := s.opts.Trace
 	timed := instrument || rec != nil
@@ -530,6 +555,8 @@ var bgLabels = context.Background()
 
 // stateFor picks the sync-free state: the session's private copy when one
 // exists, the solver-owned one otherwise.
+//
+//sptrsv:hotpath
 func stateFor[T sparse.Float](states []*kernels.SyncFreeState, idx int, tb *triBlock[T]) *kernels.SyncFreeState {
 	if states != nil && states[idx] != nil {
 		return states[idx]
@@ -537,6 +564,7 @@ func stateFor[T sparse.Float](states []*kernels.SyncFreeState, idx int, tb *triB
 	return tb.state
 }
 
+//sptrsv:hotpath
 func (s *Solver[T]) solveTri(tb *triBlock[T], w, x []T, state *kernels.SyncFreeState) {
 	switch tb.kernel {
 	case kernels.TriCompletelyParallel:

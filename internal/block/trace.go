@@ -102,11 +102,15 @@ func NewTraceRecorder(capacity int) *TraceRecorder {
 }
 
 // beginSolve assigns the next solve sequence number.
+//
+//sptrsv:hotpath
 func (r *TraceRecorder) beginSolve() int64 { return r.solves.Add(1) }
 
 // record appends one step. Hot path: called once per plan step of a
 // traced solve, under a short mutex so concurrent sessions interleave
 // cleanly.
+//
+//sptrsv:hotpath
 func (r *TraceRecorder) record(solve int64, step int, m stepMeta, kernel uint8, start time.Time, dur time.Duration) {
 	rec := traceRec{
 		solve:  solve,

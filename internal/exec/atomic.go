@@ -13,6 +13,8 @@ import (
 // the float's bit pattern — the CPU analogue of CUDA's atomicAdd on
 // float/double. The pointer must be naturally aligned, which Go guarantees
 // for slice elements of float32/float64.
+//
+//sptrsv:hotpath
 func AtomicAddFloat[T sparse.Float](p *T, v T) {
 	if unsafe.Sizeof(*p) == 8 {
 		ap := (*uint64)(unsafe.Pointer(p))
@@ -35,6 +37,8 @@ func AtomicAddFloat[T sparse.Float](p *T, v T) {
 }
 
 // AtomicLoadFloat atomically reads *p.
+//
+//sptrsv:hotpath
 func AtomicLoadFloat[T sparse.Float](p *T) T {
 	if unsafe.Sizeof(*p) == 8 {
 		return T(math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(p)))))
@@ -43,6 +47,8 @@ func AtomicLoadFloat[T sparse.Float](p *T) T {
 }
 
 // AtomicStoreFloat atomically writes v to *p.
+//
+//sptrsv:hotpath
 func AtomicStoreFloat[T sparse.Float](p *T, v T) {
 	if unsafe.Sizeof(*p) == 8 {
 		atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(float64(v)))
@@ -52,6 +58,8 @@ func AtomicStoreFloat[T sparse.Float](p *T, v T) {
 }
 
 // AtomicMaxFloat atomically raises *p to v if v is larger.
+//
+//sptrsv:hotpath
 func AtomicMaxFloat[T sparse.Float](p *T, v T) {
 	if unsafe.Sizeof(*p) == 8 {
 		ap := (*uint64)(unsafe.Pointer(p))
@@ -93,6 +101,8 @@ type PaddedInt32 struct {
 // a sync-free warp spinning on a component's in-degree. It spins a short
 // burst, then yields to the scheduler so that on small pools the goroutine
 // holding the dependency can run.
+//
+//sptrsv:hotpath
 func SpinUntilZero(c *atomic.Int32) {
 	for spins := 0; ; spins++ {
 		if c.Load() == 0 {
@@ -107,6 +117,8 @@ func SpinUntilZero(c *atomic.Int32) {
 // SpinUntilNonZero busy-waits until the flag becomes non-zero — the
 // ready-flag counterpart of SpinUntilZero used by gather-form sync-free
 // kernels.
+//
+//sptrsv:hotpath
 func SpinUntilNonZero(c *atomic.Int32) {
 	for spins := 0; ; spins++ {
 		if c.Load() != 0 {

@@ -23,6 +23,8 @@ type workerPanic struct {
 // panic and records the first one. Later panics of the same launch are
 // dropped — one representative failure is enough to diagnose, and the
 // barrier bookkeeping after the body must run either way.
+//
+//sptrsv:hotpath
 func (b *panicBox) Recover() {
 	if r := recover(); r != nil {
 		b.first.CompareAndSwap(nil, &workerPanic{val: r})
@@ -31,6 +33,8 @@ func (b *panicBox) Recover() {
 
 // Repanic re-raises the captured panic value, if any, on the calling
 // goroutine and clears the box for the next launch.
+//
+//sptrsv:hotpath
 func (b *panicBox) Repanic() {
 	if wp := b.first.Swap(nil); wp != nil {
 		panic(wp.val)
@@ -80,6 +84,8 @@ func (g *Guard) Trip(cause error) bool {
 }
 
 // Tripped reports whether the guard has been poisoned.
+//
+//sptrsv:hotpath
 func (g *Guard) Tripped() bool { return g.tripped.Load() }
 
 // Cause returns the error the guard was tripped with, or nil.
@@ -92,6 +98,8 @@ func (g *Guard) Cause() error {
 // Step records one completed work item (a solved component, a finished
 // level, a block). The stall watchdog aborts a solve whose step counter
 // stops moving.
+//
+//sptrsv:hotpath
 func (g *Guard) Step() { g.progress.Add(1) }
 
 // Progress returns the number of work items completed so far.
@@ -100,6 +108,8 @@ func (g *Guard) Progress() int64 { return g.progress.Load() }
 // ReportStall records the component a worker was busy-waiting on when the
 // guard tripped. The smallest such component wins — with ascending claim
 // order it is the true head of the stalled dependency chain.
+//
+//sptrsv:hotpath
 func (g *Guard) ReportStall(row int, indeg int32) {
 	for {
 		cur := g.stallRow.Load()
@@ -127,6 +137,8 @@ func (g *Guard) Stall() (row int, indeg int32, ok bool) {
 // polls the guard, returning false the moment it trips. The extra guard
 // load per iteration is the entire per-iteration cost of the guarded
 // solve path's spin loops.
+//
+//sptrsv:hotpath
 func SpinUntilZeroGuarded(c *atomic.Int32, g *Guard) bool {
 	for spins := 0; ; spins++ {
 		if c.Load() == 0 {

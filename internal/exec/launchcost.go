@@ -9,6 +9,8 @@ import "time"
 // kernels on the launcher actually in use, instead of assuming a fixed
 // overhead. launches is the number of launches per timing round
 // (non-positive picks 64). The pool's launch counter advances.
+//
+//sptrsv:wallclock
 func MeasureLaunchCost(l Launcher, launches int) time.Duration {
 	if launches <= 0 {
 		launches = 64

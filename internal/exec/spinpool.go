@@ -195,6 +195,8 @@ func (p *SpinPool) runEpoch(id int) {
 // for the completion barrier. A panic in any body — the caller's share
 // included — is re-raised here only after the barrier completes, so the
 // epoch machinery is back in its idle state first. Callers hold p.mu.
+//
+//sptrsv:hotpath
 func (p *SpinPool) publish(self func()) {
 	p.remaining.Store(int64(p.workers - 1))
 	p.epoch.Add(1)
@@ -208,6 +210,7 @@ func (p *SpinPool) publish(self func()) {
 	p.pan.Repanic()
 }
 
+//sptrsv:hotpath
 func (p *SpinPool) runSelf(self func()) {
 	defer p.pan.Recover()
 	self()
@@ -218,6 +221,8 @@ func (p *SpinPool) runSelf(self func()) {
 // Dekker-style store/load pair with the last worker's decrement-then-load,
 // so either the worker sees waiting and sends, or the launcher sees the
 // counter already at zero.
+//
+//sptrsv:hotpath
 func (p *SpinPool) waitDone() {
 	for i := 0; i < p.hot; i++ {
 		if p.remaining.Load() == 0 {
@@ -239,6 +244,8 @@ func (p *SpinPool) waitDone() {
 
 // runChunks drains the worker's own shard, then steals leftovers in one
 // bounded pass over the other shards.
+//
+//sptrsv:hotpath
 func (p *SpinPool) runChunks(id int) {
 	g := p.grain
 	body := p.body
@@ -269,6 +276,8 @@ func (p *SpinPool) runChunks(id int) {
 // are data-parallel by contract — chunks may not wait on other chunks (the
 // sync-free kernels, which do cross-worker busy-waiting, use Run, where
 // real dispatch is always performed).
+//
+//sptrsv:hotpath
 func (p *SpinPool) ParallelFor(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -308,12 +317,15 @@ func (p *SpinPool) ParallelFor(n, grain int, body func(lo, hi int)) {
 		p.shards[w].end = int64(lo + size)
 		lo += size
 	}
+	//lint:ignore hotpathalloc one worker-0 closure per launch, dwarfed by the epoch broadcast it triggers
 	p.publish(func() { p.runChunks(0) })
 }
 
 // Run executes body once per worker (body receives the worker id) and
 // blocks until all return — the persistent-kernel entry point used by the
 // sync-free algorithm. The calling goroutine runs body(0).
+//
+//sptrsv:hotpath
 func (p *SpinPool) Run(body func(worker int)) {
 	if p.closed.Load() {
 		panic("exec: Run on closed SpinPool")
@@ -330,6 +342,7 @@ func (p *SpinPool) Run(body func(worker int)) {
 	}
 	p.runBody = body
 	p.body = nil
+	//lint:ignore hotpathalloc one worker-0 closure per launch, dwarfed by the epoch broadcast it triggers
 	p.publish(func() { body(0) })
 }
 

@@ -10,6 +10,8 @@ package exec
 // participate, so the heuristic divides by that count, not the pool size.
 // The participant count is then capped by the number of chunks, so callers
 // can detect the degenerate single-chunk case (nw == 1) and run inline.
+//
+//sptrsv:hotpath
 func splitWork(n, grain, workers int) (int, int) {
 	nw := workers
 	if n < nw {

@@ -11,6 +11,8 @@ import (
 // caller supplies both the CSR and (possibly nil) DCSR representations;
 // only the one the kernel needs is touched. SpMVSerial falls back to the
 // serial loop.
+//
+//sptrsv:hotpath
 func RunSpMV[T sparse.Float](p exec.Launcher, k SpMVKernel, csr *sparse.CSR[T], dcsr *sparse.DCSR[T], x, w []T) {
 	switch k {
 	case SpMVScalarCSR:

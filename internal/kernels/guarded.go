@@ -21,6 +21,8 @@ import (
 
 // TriLevelSetSolveGuarded is TriLevelSetSolve with a guard check at every
 // level barrier and one progress step per level.
+//
+//sptrsv:hotpath
 func TriLevelSetSolveGuarded[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], diag []T, info *levelset.Info, w, x []T, g *exec.Guard) bool {
 	for l := 0; l < info.NLevels; l++ {
 		if g.Tripped() {
@@ -49,6 +51,8 @@ func TriLevelSetSolveGuarded[T sparse.Float](p exec.Launcher, strict *sparse.CSC
 // the abort diagnostic; a panicking worker trips the guard itself before
 // re-raising, so the surviving workers cannot spin forever on updates the
 // dead worker will never publish.
+//
+//sptrsv:hotpath
 func TriSyncFreeSolveGuarded[T sparse.Float](p exec.Launcher, state *SyncFreeState, strict *sparse.CSC[T], diag []T, w, x []T, g *exec.Guard) bool {
 	n := len(diag)
 	if n == 0 {
@@ -93,7 +97,10 @@ func TriSyncFreeSolveGuarded[T sparse.Float](p exec.Launcher, state *SyncFreeSta
 
 // TriCuSparseLikeSolveGuarded is TriCuSparseLikeSolve with a guard check
 // at every chunk boundary and one progress step per chunk.
+//
+//sptrsv:hotpath
 func TriCuSparseLikeSolveGuarded[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T, g *exec.Guard) bool {
+	//lint:ignore hotpathalloc one row closure per solve, shared by every chunk launch below
 	row := func(i int) {
 		sum := w[i]
 		for k := strictCSR.RowPtr[i]; k < strictCSR.RowPtr[i+1]; k++ {

@@ -9,6 +9,8 @@ import (
 
 // SpMVSerialSub computes w -= A·x serially; the reference for the parallel
 // kernels and the fallback for tiny blocks.
+//
+//sptrsv:hotpath
 func SpMVSerialSub[T sparse.Float](a *sparse.CSR[T], x, w []T) {
 	for i := 0; i < a.Rows; i++ {
 		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
@@ -26,6 +28,8 @@ func SpMVSerialSub[T sparse.Float](a *sparse.CSR[T], x, w []T) {
 // SpMVScalarCSRSub computes w -= A·x with one worker item per row — the
 // paper's scalar-CSR kernel, best when rows are short and uniform. Each row
 // is owned by exactly one chunk, so no atomics are needed.
+//
+//sptrsv:hotpath
 func SpMVScalarCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T) {
 	p.ParallelFor(a.Rows, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -45,6 +49,8 @@ func SpMVScalarCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []
 // power-law matrices load-balanced by letting several workers cooperate on
 // one long row the way a warp does on a GPU. Rows cut by a chunk boundary
 // are combined with atomic adds; interior rows are written directly.
+//
+//sptrsv:hotpath
 func SpMVVectorCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T) {
 	nnz := a.NNZ()
 	if nnz == 0 {
@@ -85,6 +91,8 @@ func SpMVVectorCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []
 // SpMVScalarDCSRSub is scalar-CSR over a doubly-compressed block: one
 // worker item per stored (non-empty) row, skipping the empty ones entirely.
 // The paper selects it when the empty-row ratio is high.
+//
+//sptrsv:hotpath
 func SpMVScalarDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T) {
 	p.ParallelFor(a.StoredRows(), 0, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
@@ -102,6 +110,8 @@ func SpMVScalarDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w 
 // SpMVVectorDCSRSub is vector-CSR over a doubly-compressed block:
 // nnz-balanced chunks over the stored rows, boundary rows combined
 // atomically.
+//
+//sptrsv:hotpath
 func SpMVVectorDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T) {
 	nnz := a.NNZ()
 	if nnz == 0 {
@@ -142,6 +152,8 @@ func SpMVVectorDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w 
 // Multiply computes y = A·x in parallel (scalar-CSR schedule). It is the
 // general-purpose SpMV used by the iterative-solver examples; the block
 // update kernels above use the w -= A·x form instead.
+//
+//sptrsv:hotpath
 func Multiply[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, y []T) {
 	p.ParallelFor(a.Rows, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -93,6 +93,8 @@ func (k SpMVKernel) String() string {
 // w[i]/diag[i], scattering -val·x[i] into w for the remaining rows. On
 // return x holds the solution; w is consumed (its tail holds fully-updated
 // partial sums). This is Algorithm 1 restated for the split storage.
+//
+//sptrsv:hotpath
 func TriSerialSolve[T sparse.Float](strict *sparse.CSC[T], diag []T, w, x []T) {
 	n := len(diag)
 	for j := 0; j < n; j++ {
@@ -106,6 +108,8 @@ func TriSerialSolve[T sparse.Float](strict *sparse.CSC[T], diag []T, w, x []T) {
 
 // TriDiagOnlySolve handles the completely-parallel case: the block is a
 // pure diagonal, so every component solves independently in one launch.
+//
+//sptrsv:hotpath
 func TriDiagOnlySolve[T sparse.Float](p exec.Launcher, diag []T, w, x []T) {
 	p.ParallelFor(len(diag), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -119,6 +123,8 @@ func TriDiagOnlySolve[T sparse.Float](p exec.Launcher, diag []T, w, x []T) {
 // diagonal and scatter updates into w with atomic adds; all their targets
 // are in strictly later levels, so reads of w within the level race with
 // nothing.
+//
+//sptrsv:hotpath
 func TriLevelSetSolve[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], diag []T, info *levelset.Info, w, x []T) {
 	for l := 0; l < info.NLevels; l++ {
 		lo, hi := info.LevelPtr[l], info.LevelPtr[l+1]
@@ -161,6 +167,8 @@ func NewSyncFreeState[T sparse.Float](strict *sparse.CSC[T]) *SyncFreeState {
 }
 
 // reset rearms the counters for a fresh solve.
+//
+//sptrsv:hotpath
 func (s *SyncFreeState) reset() {
 	for i := range s.base {
 		s.indeg[i].V.Store(s.base[i])
@@ -182,6 +190,8 @@ func (s *SyncFreeState) reset() {
 // on any pool size: the smallest unfinished component's dependencies are
 // all finished (they have smaller indices), so some worker always
 // progresses.
+//
+//sptrsv:hotpath
 func TriSyncFreeSolve[T sparse.Float](p exec.Launcher, state *SyncFreeState, strict *sparse.CSC[T], diag []T, w, x []T) {
 	n := len(diag)
 	if n == 0 {
@@ -293,7 +303,10 @@ func (s *MergedSchedule) SerialChunks() int {
 // dependencies are guaranteed by the inter-chunk barriers and by in-order
 // execution inside serial chunks (executing fused levels in level order is
 // dependency-safe because every dependency lives in an earlier level).
+//
+//sptrsv:hotpath
 func TriCuSparseLikeSolve[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T) {
+	//lint:ignore hotpathalloc one row closure per solve, shared by every chunk launch below
 	row := func(i int) {
 		sum := w[i]
 		for k := strictCSR.RowPtr[i]; k < strictCSR.RowPtr[i+1]; k++ {

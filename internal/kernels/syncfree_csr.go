@@ -60,6 +60,8 @@ func (s *SyncFreeCSRSolver[T]) Rows() int    { return len(s.diag) }
 // Solve runs the persistent gather kernel. Workers claim rows in
 // ascending order, which keeps the busy-wait deadlock-free on any pool
 // size: the smallest unsolved row's dependencies are all solved.
+//
+//sptrsv:hotpath
 func (s *SyncFreeCSRSolver[T]) Solve(b, x []T) {
 	n := len(s.diag)
 	if n == 0 {

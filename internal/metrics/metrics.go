@@ -33,9 +33,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//sptrsv:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//sptrsv:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -61,6 +65,8 @@ type Histogram struct {
 }
 
 // Observe records one duration.
+//
+//sptrsv:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	ns := d.Nanoseconds()
 	if ns < 0 {

@@ -118,6 +118,8 @@ func PermuteVec[T Float](src []T, newIdx []int) []T {
 }
 
 // PermuteVecInto is PermuteVec writing into dst, avoiding an allocation.
+//
+//sptrsv:hotpath
 func PermuteVecInto[T Float](dst, src []T, newIdx []int) {
 	for i, p := range newIdx {
 		dst[p] = src[i]
@@ -125,6 +127,8 @@ func PermuteVecInto[T Float](dst, src []T, newIdx []int) {
 }
 
 // UnpermuteVecInto undoes PermuteVecInto: dst[i] = src[newIdx[i]].
+//
+//sptrsv:hotpath
 func UnpermuteVecInto[T Float](dst, src []T, newIdx []int) {
 	for i, p := range newIdx {
 		dst[i] = src[p]

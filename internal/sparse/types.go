@@ -65,6 +65,8 @@ type DCSR[T Float] struct {
 }
 
 // NNZ returns the number of stored entries.
+//
+//sptrsv:hotpath
 func (m *CSR[T]) NNZ() int { return len(m.Val) }
 
 // NNZ returns the number of stored entries.
@@ -74,9 +76,13 @@ func (m *CSC[T]) NNZ() int { return len(m.Val) }
 func (m *COO[T]) NNZ() int { return len(m.Val) }
 
 // NNZ returns the number of stored entries.
+//
+//sptrsv:hotpath
 func (m *DCSR[T]) NNZ() int { return len(m.Val) }
 
 // StoredRows returns the number of non-empty rows physically stored.
+//
+//sptrsv:hotpath
 func (m *DCSR[T]) StoredRows() int { return len(m.RowIdx) }
 
 // RowLen returns the number of stored entries in row i.
