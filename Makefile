@@ -1,16 +1,20 @@
-# Development targets. `make ci` is the gate every change must pass: vet,
-# full build, full test suite, the race detector on the four packages that
-# exercise the lock-free machinery (spin-barrier pool, sync-free kernels,
-# block solver, registry), and the tagged fault-injection chaos suite.
+# Development targets. `make ci` is the gate every change must pass: vet
+# (including a gofmt cleanliness check), full build, full test suite, the
+# race detector on the packages that exercise the lock-free machinery or
+# hammer shared metrics, the tagged fault-injection chaos suite, the perf
+# regression gate, the project static analyzers (cmd/sptrsvlint), and a
+# short fuzzing pass over the input parsers.
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate
+.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint fuzz-short
 
-ci: vet build test race chaos perfgate
+ci: vet build test race chaos perfgate lint fuzz-short
 
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -19,7 +23,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exec ./internal/kernels ./internal/block ./internal/core
+	$(GO) test -race . ./internal/exec ./internal/kernels ./internal/block \
+		./internal/core ./internal/metrics ./internal/bench
+
+# Project-specific static analyzers (DESIGN.md §6.8): hot-path allocation
+# discipline, atomic-field access, spin-loop guards, wall-clock placement,
+# and dropped errors. The repo must stay finding-free.
+lint:
+	$(GO) run ./cmd/sptrsvlint ./...
+
+# Short deterministic-budget fuzzing pass over the two input parsers: the
+# Matrix Market reader and the lint harness's want/ignore comment parsers.
+# Corpus finds land in testdata/fuzz and should be committed.
+FUZZTIME ?= 10s
+
+fuzz-short:
+	$(GO) test -run - -fuzz FuzzReadMatrixMarket -fuzztime $(FUZZTIME) ./internal/sparse
+	$(GO) test -run - -fuzz FuzzParseWant -fuzztime $(FUZZTIME) ./internal/lint
 
 # Fault-injection chaos suite: hooks compiled in under the faultinject tag
 # drive panics, in-degree corruption, solution poisoning and worker delays

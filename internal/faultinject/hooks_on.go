@@ -13,10 +13,10 @@ const Enabled = true
 
 var (
 	mu       sync.Mutex
-	panics   = map[string]int{}           // site -> k
-	delays   = map[string]delaySpec{}     // site -> worker+duration
-	corrupts = map[string]corruptSpec{}   // site -> row+delta
-	poisons  = map[string]poisonSpec{}    // site -> row+value
+	panics   = map[string]int{}         // site -> k
+	delays   = map[string]delaySpec{}   // site -> worker+duration
+	corrupts = map[string]corruptSpec{} // site -> row+delta
+	poisons  = map[string]poisonSpec{}  // site -> row+value
 )
 
 type delaySpec struct {
