@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint fuzz-short
+.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint bcecheck fuzz-short
 
-ci: vet build test race chaos perfgate lint fuzz-short
+ci: vet build test race chaos perfgate lint bcecheck fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -32,14 +32,26 @@ race:
 lint:
 	$(GO) run ./cmd/sptrsvlint ./...
 
-# Short deterministic-budget fuzzing pass over the two input parsers: the
-# Matrix Market reader and the lint harness's want/ignore comment parsers.
-# Corpus finds land in testdata/fuzz and should be committed.
+# BCE invariant (DESIGN.md §6.9): recompile the hot packages with the
+# compiler's bounds-check debug pass and fail if any //sptrsv:hotpath
+# function carries more surviving checks than internal/lint/bce_allow.txt
+# permits. After a reviewed kernel-shape change, refresh the allowlist
+# with `go run ./cmd/sptrsvlint -bce -bce-update`.
+bcecheck:
+	$(GO) run ./cmd/sptrsvlint -bce
+
+# Short deterministic-budget fuzzing pass over the two input parsers (the
+# Matrix Market reader and the lint harness's want/ignore comment parsers)
+# plus the differential kernel-equivalence fuzzer, which solves random
+# triangular systems with every optimized kernel against the serial
+# reference at both element types. Corpus finds land in testdata/fuzz and
+# should be committed.
 FUZZTIME ?= 10s
 
 fuzz-short:
 	$(GO) test -run - -fuzz FuzzReadMatrixMarket -fuzztime $(FUZZTIME) ./internal/sparse
 	$(GO) test -run - -fuzz FuzzParseWant -fuzztime $(FUZZTIME) ./internal/lint
+	$(GO) test -run - -fuzz FuzzKernelEquivalence -fuzztime $(FUZZTIME) ./internal/kernels
 
 # Fault-injection chaos suite: hooks compiled in under the faultinject tag
 # drive panics, in-degree corruption, solution poisoning and worker delays
@@ -75,6 +87,10 @@ BENCH_BASELINE ?= BENCH_baseline.json
 PERFGATE_PCT   ?= 400
 
 bench-json:
+	@base_sha=$$(sed -n 's/.*"git_sha": *"\([0-9a-f]*\)".*/\1/p' $(BENCH_BASELINE) 2>/dev/null | head -1); \
+	head_sha=$$(git rev-parse --short=12 HEAD 2>/dev/null); \
+	if [ -n "$$base_sha" ] && [ -n "$$head_sha" ] && [ "$$base_sha" != "$$head_sha" ]; then \
+		echo "bench-json: baseline was recorded at $$base_sha, HEAD is $$head_sha — this run refreshes it"; fi
 	$(GO) run ./cmd/sptrsvbench -suite -scale $(BENCH_SCALE) -repeats 9 -warmup 2 \
 		-json $(BENCH_BASELINE)
 

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	sptrsvlint [-json] [-only analyzer,analyzer] [-C dir] [packages]
+//	sptrsvlint -bce [-bce-allow file] [-bce-update] [-C dir] [packages]
+//
+// The -bce mode checks the bounds-check-elimination invariant instead
+// (DESIGN.md §6.9): it recompiles the packages (default: the hot-path
+// packages) with -d=ssa/check_bce under the bcecheck build tag and fails
+// when any //sptrsv:hotpath function carries more surviving bounds checks
+// than the committed allowlist permits. -bce-update rewrites the
+// allowlist from the current audit.
 //
 // Exit codes: 0 clean, 1 findings, 2 load/usage error.
 package main
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/sss-lab/blocksptrsv/internal/lint"
@@ -32,8 +41,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	dir := fs.String("C", ".", "load packages from this directory")
+	bce := fs.Bool("bce", false, "check the hot-path bounds-check-elimination invariant instead of running analyzers")
+	bceAllow := fs.String("bce-allow", "internal/lint/bce_allow.txt", "BCE allowlist path, relative to -C")
+	bceUpdate := fs.Bool("bce-update", false, "with -bce: rewrite the allowlist from the current audit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *bce {
+		return runBCE(*dir, *bceAllow, *bceUpdate, fs.Args(), stdout, stderr)
 	}
 
 	analyzers := lint.All
@@ -70,6 +86,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(diags) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// bceDefaultPkgs are the packages whose hot paths the BCE invariant
+// covers: every package with //sptrsv:hotpath functions.
+var bceDefaultPkgs = []string{
+	"./internal/kernels", "./internal/exec", "./internal/sparse", "./internal/levelset",
+}
+
+func runBCE(dir, allowPath string, update bool, pkgs []string, stdout, stderr io.Writer) int {
+	if len(pkgs) == 0 {
+		pkgs = bceDefaultPkgs
+	}
+	sites, err := lint.RunBCEAudit(dir, pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptrsvlint: bce audit: %v\n", err)
+		return 2
+	}
+	funcs, err := lint.GroupBCESites(dir, sites)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptrsvlint: %v\n", err)
+		return 2
+	}
+	allowFile := filepath.Join(dir, filepath.FromSlash(allowPath))
+	if update {
+		if err := os.WriteFile(allowFile, []byte(lint.FormatBCEAllow(funcs)), 0o644); err != nil {
+			fmt.Fprintf(stderr, "sptrsvlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "bce: allowlist rewritten: %s\n", allowPath)
+		return 0
+	}
+	allow, err := lint.LoadBCEAllow(allowFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptrsvlint: %v\n", err)
+		return 2
+	}
+	res := lint.CheckBCE(funcs, allow)
+	for _, s := range res.Stale {
+		fmt.Fprintf(stdout, "bce: note: %s\n", s)
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(stdout, "bce: %s\n", v)
+	}
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(stdout, "bce: FAIL: %d hot-path function(s) over budget (see DESIGN.md §6.9)\n", len(res.Violations))
+		return 1
+	}
+	fmt.Fprintf(stdout, "bce: ok: %d hot-path function(s) within budget across %s\n", res.Hotpath, strings.Join(pkgs, " "))
 	return 0
 }
 

@@ -425,6 +425,11 @@ type GateResult struct {
 	Regressions  []Regression
 	OnlyBaseline []string // keys present in the baseline only (informational)
 	OnlyCurrent  []string // keys present in the current report only
+	// EnvMismatches lists run-environment keys (workers, gomaxprocs, CPU
+	// count, Go version) that differ between the two reports. Purely
+	// informational: the numbers still gate, but a mismatch usually
+	// explains a surprising verdict better than the kernels do.
+	EnvMismatches []string
 }
 
 // Pass reports whether the gate is clean.
@@ -453,6 +458,7 @@ func Gate(baseline, current *BenchReport, gatePct float64) GateResult {
 		base[gateKey(r)] = r
 	}
 	var g GateResult
+	g.EnvMismatches = envMismatches(baseline, current)
 	seen := make(map[string]bool, len(current.Results))
 	for _, cur := range current.Results {
 		k := gateKey(cur)
@@ -492,8 +498,28 @@ func Gate(baseline, current *BenchReport, gatePct float64) GateResult {
 	return g
 }
 
+// envMismatches compares the run environments of two reports, returning
+// one "key: baseline=x current=y" line per differing key that affects
+// comparability of the timings.
+func envMismatches(baseline, current *BenchReport) []string {
+	var m []string
+	diff := func(key string, b, c any) {
+		if b != c {
+			m = append(m, fmt.Sprintf("%s: baseline=%v current=%v", key, b, c))
+		}
+	}
+	diff("workers", baseline.Workers, current.Workers)
+	diff("gomaxprocs", baseline.Env.GOMAXPROCS, current.Env.GOMAXPROCS)
+	diff("num_cpu", baseline.Env.NumCPU, current.Env.NumCPU)
+	diff("go_version", baseline.Env.GoVersion, current.Env.GoVersion)
+	return m
+}
+
 // Write renders the gate outcome for humans.
 func (g GateResult) Write(w io.Writer, gatePct float64) {
+	for _, m := range g.EnvMismatches {
+		fmt.Fprintf(w, "warning: environment differs from baseline — %s\n", m)
+	}
 	if g.Pass() {
 		fmt.Fprintf(w, "perf gate PASS: %d measurements within %.0f%% of baseline (+%dx MAD noise band)\n",
 			g.Compared, gatePct, noiseBandMultiplier)

@@ -118,6 +118,37 @@ func TestGate(t *testing.T) {
 	}
 }
 
+// TestGateEnvMismatch: differing run environments warn but never fail
+// the gate.
+func TestGateEnvMismatch(t *testing.T) {
+	rep := tinyReport(t)
+
+	if g := Gate(rep, rep, 25); len(g.EnvMismatches) != 0 {
+		t.Fatalf("identical reports flagged env mismatches: %v", g.EnvMismatches)
+	}
+
+	moved := *rep
+	moved.Workers = rep.Workers + 3
+	moved.Env.GOMAXPROCS = rep.Env.GOMAXPROCS + 1
+	g := Gate(rep, &moved, 25)
+	if !g.Pass() {
+		t.Fatalf("env mismatch failed the gate: %+v", g.Regressions)
+	}
+	if len(g.EnvMismatches) != 2 {
+		t.Fatalf("EnvMismatches = %v, want workers and gomaxprocs", g.EnvMismatches)
+	}
+	var buf bytes.Buffer
+	g.Write(&buf, 25)
+	out := buf.String()
+	if !strings.Contains(out, "warning: environment differs from baseline") ||
+		!strings.Contains(out, "workers") || !strings.Contains(out, "gomaxprocs") {
+		t.Fatalf("gate report missing env warnings:\n%s", out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("env warnings must not turn the verdict:\n%s", out)
+	}
+}
+
 // TestGateSubset: a short-mode run against a full baseline compares the
 // shared keys and records — but does not fail on — the missing ones.
 func TestGateSubset(t *testing.T) {

@@ -16,20 +16,24 @@ import (
 //
 //sptrsv:hotpath
 func AtomicAddFloat[T sparse.Float](p *T, v T) {
+	// The addend conversion is hoisted out of the CAS loops so a contended
+	// retry repeats only the load/add/CAS, not the T→float conversion.
 	if unsafe.Sizeof(*p) == 8 {
 		ap := (*uint64)(unsafe.Pointer(p))
+		add := float64(v)
 		for {
 			old := atomic.LoadUint64(ap)
-			nv := math.Float64bits(math.Float64frombits(old) + float64(v))
+			nv := math.Float64bits(math.Float64frombits(old) + add)
 			if atomic.CompareAndSwapUint64(ap, old, nv) {
 				return
 			}
 		}
 	}
 	ap := (*uint32)(unsafe.Pointer(p))
+	add := float32(v)
 	for {
 		old := atomic.LoadUint32(ap)
-		nv := math.Float32bits(math.Float32frombits(old) + float32(v))
+		nv := math.Float32bits(math.Float32frombits(old) + add)
 		if atomic.CompareAndSwapUint32(ap, old, nv) {
 			return
 		}

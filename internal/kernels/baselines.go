@@ -61,15 +61,38 @@ func (s *SerialSolver[T]) Solve(b, x []T) {
 
 // SerialSolveCSR is the serial forward substitution on a solvable lower CSR
 // (diagonal last in each row), shared by SerialSolver and by the guarded
-// path's last-resort fallback.
+// path's last-resort fallback. The gather loop runs in the repo's BCE
+// shape with a dual-accumulator 4-way unroll (DESIGN.md §6.9); the
+// reassociated sum stays within the documented ULP tolerance.
+//
+//sptrsv:hotpath
 func SerialSolveCSR[T sparse.Float](l *sparse.CSR[T], b, x []T) {
+	rowPtr, colIdx, vals := l.RowPtr, l.ColIdx, l.Val
 	for i := 0; i < l.Rows; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]-1 // diagonal is the last entry of a solvable row
 		sum := b[i]
-		hi := l.RowPtr[i+1] - 1 // diagonal is the last entry of a solvable row
-		for k := l.RowPtr[i]; k < hi; k++ {
-			sum -= l.Val[k] * x[l.ColIdx[k]]
+		if hi-lo < 4 { // short row: direct indexing, see internal/kernels/spmv.go
+			for k := lo; k < hi; k++ {
+				sum -= vals[k] * x[colIdx[k]]
+			}
+			x[i] = sum / vals[hi]
+			continue
 		}
-		x[i] = sum / l.Val[hi]
+		cols := colIdx[lo:hi]
+		vs := vals[lo:hi][:len(cols)]
+		s0, s1 := sum, T(0)
+		for len(cols) >= 4 && len(vs) >= 4 {
+			c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+			s0 -= vs[0]*x[c0] + vs[2]*x[c2]
+			s1 += vs[1]*x[c1] + vs[3]*x[c3]
+			cols = cols[4:]
+			vs = vs[4:]
+		}
+		vs = vs[:len(cols)]
+		for k := range cols {
+			s0 -= vs[k] * x[cols[k]]
+		}
+		x[i] = (s0 - s1) / vals[hi]
 	}
 }
 

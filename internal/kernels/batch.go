@@ -21,60 +21,92 @@ import (
 // Layout: right-hand-side blocks are dense row-major n×k slices — the k
 // values of component i occupy W[i*k : (i+1)*k]. Per-component work is
 // then contiguous and the inner k-loops vectorise naturally.
+//
+// The inner k-loops follow the repo's BCE shape (DESIGN.md §6.9): both
+// operand windows are re-sliced to the same length expression (w[i*k:]
+// re-sliced to len(xj)), so the compiler proves the whole k-loop
+// in-bounds from one IsSliceInBounds per nonzero. The k-loops stay
+// rolled and written inline at each per-nonzero site: the compiler does
+// not inline functions containing loops, and a call per nonzero costs
+// more than the loop it wraps, while the k iterations are independent
+// element-wise updates the CPU already overlaps without manual
+// unrolling. Update order per RHS column is exactly the rolled serial
+// order, so batched results carry no reassociation slack.
 
 // TriSerialSolveBatch is TriSerialSolve over an n×k right-hand-side block.
+//
+//sptrsv:hotpath
 func TriSerialSolveBatch[T sparse.Float](strict *sparse.CSC[T], diag []T, w, x []T, k int) {
 	n := len(diag)
+	colPtr, rowIdx, vals := strict.ColPtr, strict.RowIdx, strict.Val
 	for j := 0; j < n; j++ {
 		inv := 1 / diag[j]
-		xj := x[j*k : (j+1)*k]
-		wj := w[j*k : (j+1)*k]
-		for r := 0; r < k; r++ {
-			xj[r] = wj[r] * inv
-		}
-		for p := strict.ColPtr[j]; p < strict.ColPtr[j+1]; p++ {
-			v := strict.Val[p]
-			wr := w[strict.RowIdx[p]*k:]
-			for r := 0; r < k; r++ {
+		xj := x[j*k:][:k]
+		wj := w[j*k:][:k]
+		scaleInto(xj, wj, inv)
+		lo, hi := colPtr[j], colPtr[j+1]
+		rows := rowIdx[lo:hi]
+		vs := vals[lo:hi][:len(rows)]
+		for p := range rows {
+			v := vs[p]
+			wr := w[rows[p]*k:][:len(xj)]
+			for r := range wr {
 				wr[r] -= v * xj[r]
 			}
 		}
 	}
 }
 
+// scaleInto computes dst[r] = src[r]·inv over one RHS window with the
+// source re-tied to the destination length, so the body carries no
+// bounds checks. Called once per component, not per nonzero, so the
+// call overhead is off the per-nnz path.
+//
+//sptrsv:hotpath
+func scaleInto[T sparse.Float](dst, src []T, inv T) {
+	src = src[:len(dst)]
+	for r := range dst {
+		dst[r] = src[r] * inv
+	}
+}
+
 // TriDiagOnlySolveBatch is the completely-parallel kernel over an n×k
 // right-hand-side block.
+//
+//sptrsv:hotpath
 func TriDiagOnlySolveBatch[T sparse.Float](p exec.Launcher, diag []T, w, x []T, k int) {
 	p.ParallelFor(len(diag), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			inv := 1 / diag[i]
-			for r := i * k; r < (i+1)*k; r++ {
-				x[r] = w[r] * inv
-			}
+			scaleInto(x[i*k:][:k], w[i*k:][:k], inv)
 		}
 	})
 }
 
 // TriLevelSetSolveBatch runs the level-set kernel over an n×k block:
 // one launch per level, scatter updates with per-element atomic adds.
+//
+//sptrsv:hotpath
 func TriLevelSetSolveBatch[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], diag []T, info *levelset.Info, w, x []T, k int) {
+	colPtr, rowIdx, vals := strict.ColPtr, strict.RowIdx, strict.Val
 	for l := 0; l < info.NLevels; l++ {
 		lo, hi := info.LevelPtr[l], info.LevelPtr[l+1]
 		items := info.LevelItem[lo:hi]
 		p.ParallelFor(len(items), 0, func(a, b int) {
-			for t := a; t < b; t++ {
-				j := items[t]
+			its := items[a:b]
+			for t := range its {
+				j := its[t]
 				inv := 1 / diag[j]
-				xj := x[j*k : (j+1)*k]
-				wj := w[j*k : (j+1)*k]
-				for r := 0; r < k; r++ {
-					xj[r] = wj[r] * inv
-				}
-				for kk := strict.ColPtr[j]; kk < strict.ColPtr[j+1]; kk++ {
-					v := strict.Val[kk]
-					row := strict.RowIdx[kk]
-					for r := 0; r < k; r++ {
-						exec.AtomicAddFloat(&w[row*k+r], -v*xj[r])
+				xj := x[j*k:][:k]
+				scaleInto(xj, w[j*k:][:k], inv)
+				klo, khi := colPtr[j], colPtr[j+1]
+				rows := rowIdx[klo:khi]
+				vs := vals[klo:khi][:len(rows)]
+				for kk := range rows {
+					v := vs[kk]
+					wr := w[rows[kk]*k:][:len(xj)]
+					for r := range wr {
+						exec.AtomicAddFloat(&wr[r], -v*xj[r])
 					}
 				}
 			}
@@ -86,12 +118,16 @@ func TriLevelSetSolveBatch[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T
 // in-degree of a component is decremented once per dependency after all k
 // of its updates have been published, preserving the release/acquire
 // pairing of the single-vector kernel.
+//
+//sptrsv:hotpath
 func TriSyncFreeSolveBatch[T sparse.Float](p exec.Launcher, state *SyncFreeState, strict *sparse.CSC[T], diag []T, w, x []T, k int) {
 	n := len(diag)
 	if n == 0 {
 		return
 	}
 	state.reset()
+	colPtr, rowIdx, vals := strict.ColPtr, strict.RowIdx, strict.Val
+	indeg := state.indeg
 	var next atomic.Int64
 	p.Run(func(worker int) {
 		for {
@@ -99,20 +135,21 @@ func TriSyncFreeSolveBatch[T sparse.Float](p exec.Launcher, state *SyncFreeState
 			if j >= n {
 				return
 			}
-			exec.SpinUntilZero(&state.indeg[j].V)
+			exec.SpinUntilZero(&indeg[j].V)
 			inv := 1 / diag[j]
-			xj := x[j*k : (j+1)*k]
-			wj := w[j*k : (j+1)*k]
-			for r := 0; r < k; r++ {
-				xj[r] = wj[r] * inv
-			}
-			for kk := strict.ColPtr[j]; kk < strict.ColPtr[j+1]; kk++ {
-				v := strict.Val[kk]
-				row := strict.RowIdx[kk]
-				for r := 0; r < k; r++ {
-					exec.AtomicAddFloat(&w[row*k+r], -v*xj[r])
+			xj := x[j*k:][:k]
+			scaleInto(xj, w[j*k:][:k], inv)
+			klo, khi := colPtr[j], colPtr[j+1]
+			rows := rowIdx[klo:khi]
+			vs := vals[klo:khi][:len(rows)]
+			for kk := range rows {
+				v := vs[kk]
+				row := rows[kk]
+				wr := w[row*k:][:len(xj)]
+				for r := range wr {
+					exec.AtomicAddFloat(&wr[r], -v*xj[r])
 				}
-				state.indeg[row].V.Add(-1)
+				indeg[row].V.Add(-1)
 			}
 		}
 	})
@@ -120,39 +157,45 @@ func TriSyncFreeSolveBatch[T sparse.Float](p exec.Launcher, state *SyncFreeState
 
 // TriCuSparseLikeSolveBatch runs the merged level-set kernel over an n×k
 // block in gather form (no atomics).
+//
+//sptrsv:hotpath
 func TriCuSparseLikeSolveBatch[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T, k int) {
+	rowPtr, colIdx, vals := strictCSR.RowPtr, strictCSR.ColIdx, strictCSR.Val
+	//lint:ignore hotpathalloc one row closure per solve, shared by every chunk launch below
 	row := func(i int, sum []T) {
-		wi := w[i*k : (i+1)*k]
-		copy(sum, wi)
-		for kk := strictCSR.RowPtr[i]; kk < strictCSR.RowPtr[i+1]; kk++ {
-			v := strictCSR.Val[kk]
-			xc := x[strictCSR.ColIdx[kk]*k:]
-			for r := 0; r < k; r++ {
+		copy(sum, w[i*k:][:k])
+		klo, khi := rowPtr[i], rowPtr[i+1]
+		cols := colIdx[klo:khi]
+		vs := vals[klo:khi][:len(cols)]
+		for kk := range cols {
+			v := vs[kk]
+			xc := x[cols[kk]*k:][:len(sum)]
+			for r := range xc {
 				sum[r] -= v * xc[r]
 			}
 		}
 		inv := 1 / diag[i]
-		xi := x[i*k : (i+1)*k]
-		for r := 0; r < k; r++ {
-			xi[r] = sum[r] * inv
-		}
+		scaleInto(x[i*k:][:k], sum, inv)
 	}
 	for c := 0; c < len(sched.serial); c++ {
 		lo, hi := sched.chunkPtr[c], sched.chunkPtr[c+1]
+		items := sched.items[lo:hi]
 		if sched.serial[c] {
 			p.ParallelFor(1, 1, func(_, _ int) {
+				//lint:ignore hotpathalloc per-launch RHS accumulator scratch
 				sum := make([]T, k)
-				for t := lo; t < hi; t++ {
-					row(sched.items[t], sum)
+				for t := range items {
+					row(items[t], sum)
 				}
 			})
 			continue
 		}
-		items := sched.items[lo:hi]
 		p.ParallelFor(len(items), 0, func(a, b int) {
+			//lint:ignore hotpathalloc per-launch RHS accumulator scratch
 			sum := make([]T, k)
-			for t := a; t < b; t++ {
-				row(items[t], sum)
+			its := items[a:b]
+			for t := range its {
+				row(its[t], sum)
 			}
 		})
 	}
@@ -160,18 +203,23 @@ func TriCuSparseLikeSolveBatch[T sparse.Float](p exec.Launcher, sched *MergedSch
 
 // SpMVScalarCSRSubBatch computes W -= A·X over n×k blocks, one worker
 // item per row.
+//
+//sptrsv:hotpath
 func SpMVScalarCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T, k int) {
+	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
 	p.ParallelFor(a.Rows, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			rlo, rhi := a.RowPtr[i], a.RowPtr[i+1]
+			rlo, rhi := rowPtr[i], rowPtr[i+1]
 			if rlo == rhi {
 				continue
 			}
-			wi := w[i*k : (i+1)*k]
-			for kk := rlo; kk < rhi; kk++ {
-				v := a.Val[kk]
-				xc := x[a.ColIdx[kk]*k:]
-				for r := 0; r < k; r++ {
+			wi := w[i*k:][:k]
+			cols := colIdx[rlo:rhi]
+			vs := vals[rlo:rhi][:len(cols)]
+			for kk := range cols {
+				v := vs[kk]
+				xc := x[cols[kk]*k:][:len(wi)]
+				for r := range xc {
 					wi[r] -= v * xc[r]
 				}
 			}
@@ -181,6 +229,8 @@ func SpMVScalarCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x,
 
 // SpMVVectorCSRSubBatch computes W -= A·X with nnz-balanced chunks;
 // boundary rows combine with per-element atomic adds.
+//
+//sptrsv:hotpath
 func SpMVVectorCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T, k int) {
 	nnz := a.NNZ()
 	if nnz == 0 {
@@ -190,11 +240,14 @@ func SpMVVectorCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x,
 	if grain < 1 {
 		grain = 1
 	}
+	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
+	rows := a.Rows
 	p.ParallelFor(nnz, grain, func(lo, hi int) {
+		//lint:ignore hotpathalloc per-launch RHS accumulator scratch
 		sum := make([]T, k)
-		i := sort.SearchInts(a.RowPtr, lo+1) - 1
-		for i < a.Rows && a.RowPtr[i] < hi {
-			klo, khi := a.RowPtr[i], a.RowPtr[i+1]
+		i := sort.SearchInts(rowPtr, lo+1) - 1
+		for i < rows && rowPtr[i] < hi {
+			klo, khi := rowPtr[i], rowPtr[i+1]
 			cut := klo < lo || khi > hi
 			if klo < lo {
 				klo = lo
@@ -205,22 +258,24 @@ func SpMVVectorCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x,
 			for r := range sum {
 				sum[r] = 0
 			}
-			for kk := klo; kk < khi; kk++ {
-				v := a.Val[kk]
-				xc := x[a.ColIdx[kk]*k:]
-				for r := 0; r < k; r++ {
+			cols := colIdx[klo:khi]
+			vs := vals[klo:khi][:len(cols)]
+			for kk := range cols {
+				v := vs[kk]
+				xc := x[cols[kk]*k:][:len(sum)]
+				for r := range xc {
 					sum[r] += v * xc[r]
 				}
 			}
-			wi := w[i*k : (i+1)*k]
+			wi := w[i*k:][:len(sum)]
 			if cut {
-				for r := 0; r < k; r++ {
+				for r := range wi {
 					if sum[r] != 0 {
 						exec.AtomicAddFloat(&wi[r], -sum[r])
 					}
 				}
 			} else {
-				for r := 0; r < k; r++ {
+				for r := range wi {
 					wi[r] -= sum[r]
 				}
 			}
@@ -230,14 +285,20 @@ func SpMVVectorCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x,
 }
 
 // SpMVScalarDCSRSubBatch is SpMVScalarCSRSubBatch over stored rows only.
+//
+//sptrsv:hotpath
 func SpMVScalarDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T, k int) {
+	rowPtr, rowIdx, colIdx, vals := a.RowPtr, a.RowIdx, a.ColIdx, a.Val
 	p.ParallelFor(a.StoredRows(), 0, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
-			wi := w[a.RowIdx[s]*k:]
-			for kk := a.RowPtr[s]; kk < a.RowPtr[s+1]; kk++ {
-				v := a.Val[kk]
-				xc := x[a.ColIdx[kk]*k:]
-				for r := 0; r < k; r++ {
+			wi := w[rowIdx[s]*k:][:k]
+			rlo, rhi := rowPtr[s], rowPtr[s+1]
+			cols := colIdx[rlo:rhi]
+			vs := vals[rlo:rhi][:len(cols)]
+			for kk := range cols {
+				v := vs[kk]
+				xc := x[cols[kk]*k:][:len(wi)]
+				for r := range xc {
 					wi[r] -= v * xc[r]
 				}
 			}
@@ -246,6 +307,8 @@ func SpMVScalarDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], 
 }
 
 // SpMVVectorDCSRSubBatch is SpMVVectorCSRSubBatch over stored rows only.
+//
+//sptrsv:hotpath
 func SpMVVectorDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T, k int) {
 	nnz := a.NNZ()
 	if nnz == 0 {
@@ -255,11 +318,14 @@ func SpMVVectorDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], 
 	if grain < 1 {
 		grain = 1
 	}
+	rowPtr, rowIdx, colIdx, vals := a.RowPtr, a.RowIdx, a.ColIdx, a.Val
+	stored := a.StoredRows()
 	p.ParallelFor(nnz, grain, func(lo, hi int) {
+		//lint:ignore hotpathalloc per-launch RHS accumulator scratch
 		sum := make([]T, k)
-		s := sort.SearchInts(a.RowPtr, lo+1) - 1
-		for s < a.StoredRows() && a.RowPtr[s] < hi {
-			klo, khi := a.RowPtr[s], a.RowPtr[s+1]
+		s := sort.SearchInts(rowPtr, lo+1) - 1
+		for s < stored && rowPtr[s] < hi {
+			klo, khi := rowPtr[s], rowPtr[s+1]
 			cut := klo < lo || khi > hi
 			if klo < lo {
 				klo = lo
@@ -270,22 +336,24 @@ func SpMVVectorDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], 
 			for r := range sum {
 				sum[r] = 0
 			}
-			for kk := klo; kk < khi; kk++ {
-				v := a.Val[kk]
-				xc := x[a.ColIdx[kk]*k:]
-				for r := 0; r < k; r++ {
+			cols := colIdx[klo:khi]
+			vs := vals[klo:khi][:len(cols)]
+			for kk := range cols {
+				v := vs[kk]
+				xc := x[cols[kk]*k:][:len(sum)]
+				for r := range xc {
 					sum[r] += v * xc[r]
 				}
 			}
-			wi := w[a.RowIdx[s]*k:]
+			wi := w[rowIdx[s]*k:][:len(sum)]
 			if cut {
-				for r := 0; r < k; r++ {
+				for r := range wi {
 					if sum[r] != 0 {
 						exec.AtomicAddFloat(&wi[r], -sum[r])
 					}
 				}
 			} else {
-				for r := 0; r < k; r++ {
+				for r := range wi {
 					wi[r] -= sum[r]
 				}
 			}
@@ -295,13 +363,19 @@ func SpMVVectorDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], 
 }
 
 // SpMVSerialSubBatch is the serial reference for the batched SpMV update.
+//
+//sptrsv:hotpath
 func SpMVSerialSubBatch[T sparse.Float](a *sparse.CSR[T], x, w []T, k int) {
+	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
 	for i := 0; i < a.Rows; i++ {
-		wi := w[i*k : (i+1)*k]
-		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-			v := a.Val[kk]
-			xc := x[a.ColIdx[kk]*k:]
-			for r := 0; r < k; r++ {
+		wi := w[i*k:][:k]
+		rlo, rhi := rowPtr[i], rowPtr[i+1]
+		cols := colIdx[rlo:rhi]
+		vs := vals[rlo:rhi][:len(cols)]
+		for kk := range cols {
+			v := vs[kk]
+			xc := x[cols[kk]*k:][:len(wi)]
+			for r := range xc {
 				wi[r] -= v * xc[r]
 			}
 		}
@@ -310,6 +384,8 @@ func SpMVSerialSubBatch[T sparse.Float](a *sparse.CSR[T], x, w []T, k int) {
 
 // RunSpMVBatch dispatches the batched block update W -= A·X to the named
 // kernel (the batch counterpart of RunSpMV).
+//
+//sptrsv:hotpath
 func RunSpMVBatch[T sparse.Float](p exec.Launcher, kn SpMVKernel, csr *sparse.CSR[T], dcsr *sparse.DCSR[T], x, w []T, k int) {
 	switch kn {
 	case SpMVScalarCSR:

@@ -24,6 +24,7 @@ import (
 //
 //sptrsv:hotpath
 func TriLevelSetSolveGuarded[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], diag []T, info *levelset.Info, w, x []T, g *exec.Guard) bool {
+	colPtr, rowIdx, vals := strict.ColPtr, strict.RowIdx, strict.Val
 	for l := 0; l < info.NLevels; l++ {
 		if g.Tripped() {
 			return false
@@ -31,12 +32,16 @@ func TriLevelSetSolveGuarded[T sparse.Float](p exec.Launcher, strict *sparse.CSC
 		lo, hi := info.LevelPtr[l], info.LevelPtr[l+1]
 		items := info.LevelItem[lo:hi]
 		p.ParallelFor(len(items), 0, func(a, b int) {
-			for t := a; t < b; t++ {
-				j := items[t]
+			its := items[a:b]
+			for t := range its {
+				j := its[t]
 				xj := w[j] / diag[j]
 				x[j] = xj
-				for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
-					exec.AtomicAddFloat(&w[strict.RowIdx[k]], -strict.Val[k]*xj)
+				klo, khi := colPtr[j], colPtr[j+1]
+				rows := rowIdx[klo:khi]
+				vs := vals[klo:khi][:len(rows)]
+				for k := range rows {
+					exec.AtomicAddFloat(&w[rows[k]], -vs[k]*xj)
 				}
 			}
 		})
@@ -59,6 +64,8 @@ func TriSyncFreeSolveGuarded[T sparse.Float](p exec.Launcher, state *SyncFreeSta
 		return true
 	}
 	state.reset()
+	colPtr, rowIdx, vals := strict.ColPtr, strict.RowIdx, strict.Val
+	indeg := state.indeg
 	var next atomic.Int64
 	p.Run(func(worker int) {
 		defer func() {
@@ -78,16 +85,19 @@ func TriSyncFreeSolveGuarded[T sparse.Float](p exec.Launcher, state *SyncFreeSta
 			if j >= n {
 				return
 			}
-			if !exec.SpinUntilZeroGuarded(&state.indeg[j].V, g) {
-				g.ReportStall(j, state.indeg[j].V.Load())
+			if !exec.SpinUntilZeroGuarded(&indeg[j].V, g) {
+				g.ReportStall(j, indeg[j].V.Load())
 				return
 			}
 			xj := w[j] / diag[j]
 			x[j] = xj
-			for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
-				r := strict.RowIdx[k]
-				exec.AtomicAddFloat(&w[r], -strict.Val[k]*xj)
-				state.indeg[r].V.Add(-1)
+			klo, khi := colPtr[j], colPtr[j+1]
+			rows := rowIdx[klo:khi]
+			vs := vals[klo:khi][:len(rows)]
+			for k := range rows {
+				r := rows[k]
+				exec.AtomicAddFloat(&w[r], -vs[k]*xj)
+				indeg[r].V.Add(-1)
 			}
 			g.Step()
 		}
@@ -100,30 +110,51 @@ func TriSyncFreeSolveGuarded[T sparse.Float](p exec.Launcher, state *SyncFreeSta
 //
 //sptrsv:hotpath
 func TriCuSparseLikeSolveGuarded[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T, g *exec.Guard) bool {
+	rowPtr, colIdx, vals := strictCSR.RowPtr, strictCSR.ColIdx, strictCSR.Val
 	//lint:ignore hotpathalloc one row closure per solve, shared by every chunk launch below
 	row := func(i int) {
+		lo, hi := rowPtr[i], rowPtr[i+1]
 		sum := w[i]
-		for k := strictCSR.RowPtr[i]; k < strictCSR.RowPtr[i+1]; k++ {
-			sum -= strictCSR.Val[k] * x[strictCSR.ColIdx[k]]
+		if hi-lo < 4 { // short row: direct indexing, see internal/kernels/spmv.go
+			for k := lo; k < hi; k++ {
+				sum -= vals[k] * x[colIdx[k]]
+			}
+			x[i] = sum / diag[i]
+			return
 		}
-		x[i] = sum / diag[i]
+		cols := colIdx[lo:hi]
+		vs := vals[lo:hi][:len(cols)]
+		s0, s1 := sum, T(0)
+		for len(cols) >= 4 && len(vs) >= 4 {
+			c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+			s0 -= vs[0]*x[c0] + vs[2]*x[c2]
+			s1 += vs[1]*x[c1] + vs[3]*x[c3]
+			cols = cols[4:]
+			vs = vs[4:]
+		}
+		vs = vs[:len(cols)]
+		for k := range cols {
+			s0 -= vs[k] * x[cols[k]]
+		}
+		x[i] = (s0 - s1) / diag[i]
 	}
 	for c := 0; c < len(sched.serial); c++ {
 		if g.Tripped() {
 			return false
 		}
 		lo, hi := sched.chunkPtr[c], sched.chunkPtr[c+1]
+		items := sched.items[lo:hi]
 		if sched.serial[c] {
 			p.ParallelFor(1, 1, func(_, _ int) {
-				for t := lo; t < hi; t++ {
-					row(sched.items[t])
+				for t := range items {
+					row(items[t])
 				}
 			})
 		} else {
-			items := sched.items[lo:hi]
 			p.ParallelFor(len(items), 0, func(a, b int) {
-				for t := a; t < b; t++ {
-					row(items[t])
+				its := items[a:b]
+				for t := range its {
+					row(its[t])
 				}
 			})
 		}

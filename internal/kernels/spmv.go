@@ -7,21 +7,54 @@ import (
 	"github.com/sss-lab/blocksptrsv/internal/sparse"
 )
 
+// The SpMV gather loops below all share one shape (DESIGN.md §6.9): the
+// row window [lo,hi) is re-sliced out of ColIdx and Val once, so the
+// compiler proves every index in the body once per row instead of once
+// per nonzero, and the dot product runs 4-way unrolled over two
+// accumulators to split the serial add-per-nonzero FP dependency chain.
+// Only the data-dependent gather x[ColIdx[k]] keeps its bounds check.
+// The two accumulators reassociate the sum; the difference from the
+// serial left-to-right order is covered by the documented ULP tolerance
+// (FuzzKernelEquivalence). Rows under 4 nonzeros skip the window shape
+// entirely and gather with direct bounds-checked indexing: building the
+// two re-sliced windows costs more instructions than the checks they
+// remove when the row holds 1–3 nonzeros, and power-law tails, R-MAT
+// rows, grid stencils and serial chains are made of such rows. The
+// long-row branch keeps its own tail loop so its re-tied length facts
+// never merge with the short path's in SSA.
+
 // SpMVSerialSub computes w -= A·x serially; the reference for the parallel
 // kernels and the fallback for tiny blocks.
 //
 //sptrsv:hotpath
 func SpMVSerialSub[T sparse.Float](a *sparse.CSR[T], x, w []T) {
+	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
 	for i := 0; i < a.Rows; i++ {
-		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		lo, hi := rowPtr[i], rowPtr[i+1]
 		if lo == hi {
 			continue
 		}
-		var sum T
-		for k := lo; k < hi; k++ {
-			sum += a.Val[k] * x[a.ColIdx[k]]
+		var s0, s1 T
+		if hi-lo < 4 { // short row: direct indexing, see file comment
+			for k := lo; k < hi; k++ {
+				s0 += vals[k] * x[colIdx[k]]
+			}
+		} else {
+			cols := colIdx[lo:hi]
+			vs := vals[lo:hi][:len(cols)]
+			for len(cols) >= 4 && len(vs) >= 4 {
+				c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+				s0 += vs[0]*x[c0] + vs[2]*x[c2]
+				s1 += vs[1]*x[c1] + vs[3]*x[c3]
+				cols = cols[4:]
+				vs = vs[4:]
+			}
+			vs = vs[:len(cols)]
+			for k := range cols {
+				s0 += vs[k] * x[cols[k]]
+			}
 		}
-		w[i] -= sum
+		w[i] -= s0 + s1
 	}
 }
 
@@ -31,13 +64,31 @@ func SpMVSerialSub[T sparse.Float](a *sparse.CSR[T], x, w []T) {
 //
 //sptrsv:hotpath
 func SpMVScalarCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []T) {
+	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
 	p.ParallelFor(a.Rows, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			var sum T
-			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-				sum += a.Val[k] * x[a.ColIdx[k]]
+			klo, khi := rowPtr[i], rowPtr[i+1]
+			var s0, s1 T
+			if khi-klo < 4 { // short row: direct indexing, see file comment
+				for k := klo; k < khi; k++ {
+					s0 += vals[k] * x[colIdx[k]]
+				}
+			} else {
+				cols := colIdx[klo:khi]
+				vs := vals[klo:khi][:len(cols)]
+				for len(cols) >= 4 && len(vs) >= 4 {
+					c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+					s0 += vs[0]*x[c0] + vs[2]*x[c2]
+					s1 += vs[1]*x[c1] + vs[3]*x[c3]
+					cols = cols[4:]
+					vs = vs[4:]
+				}
+				vs = vs[:len(cols)]
+				for k := range cols {
+					s0 += vs[k] * x[cols[k]]
+				}
 			}
-			if sum != 0 {
+			if sum := s0 + s1; sum != 0 {
 				w[i] -= sum
 			}
 		}
@@ -60,11 +111,13 @@ func SpMVVectorCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []
 	if grain < 1 {
 		grain = 1
 	}
+	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
+	rows := a.Rows
 	p.ParallelFor(nnz, grain, func(lo, hi int) {
 		// First row whose range intersects [lo,hi).
-		i := sort.SearchInts(a.RowPtr, lo+1) - 1
-		for i < a.Rows && a.RowPtr[i] < hi {
-			klo, khi := a.RowPtr[i], a.RowPtr[i+1]
+		i := sort.SearchInts(rowPtr, lo+1) - 1
+		for i < rows && rowPtr[i] < hi {
+			klo, khi := rowPtr[i], rowPtr[i+1]
 			cut := klo < lo || khi > hi // row shared with another chunk
 			if klo < lo {
 				klo = lo
@@ -72,11 +125,27 @@ func SpMVVectorCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []
 			if khi > hi {
 				khi = hi
 			}
-			var sum T
-			for k := klo; k < khi; k++ {
-				sum += a.Val[k] * x[a.ColIdx[k]]
+			var s0, s1 T
+			if khi-klo < 4 { // short row: direct indexing, see file comment
+				for k := klo; k < khi; k++ {
+					s0 += vals[k] * x[colIdx[k]]
+				}
+			} else {
+				cols := colIdx[klo:khi]
+				vs := vals[klo:khi][:len(cols)]
+				for len(cols) >= 4 && len(vs) >= 4 {
+					c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+					s0 += vs[0]*x[c0] + vs[2]*x[c2]
+					s1 += vs[1]*x[c1] + vs[3]*x[c3]
+					cols = cols[4:]
+					vs = vs[4:]
+				}
+				vs = vs[:len(cols)]
+				for k := range cols {
+					s0 += vs[k] * x[cols[k]]
+				}
 			}
-			if sum != 0 {
+			if sum := s0 + s1; sum != 0 {
 				if cut {
 					exec.AtomicAddFloat(&w[i], -sum)
 				} else {
@@ -94,14 +163,32 @@ func SpMVVectorCSRSub[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, w []
 //
 //sptrsv:hotpath
 func SpMVScalarDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w []T) {
+	rowPtr, rowIdx, colIdx, vals := a.RowPtr, a.RowIdx, a.ColIdx, a.Val
 	p.ParallelFor(a.StoredRows(), 0, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
-			var sum T
-			for k := a.RowPtr[s]; k < a.RowPtr[s+1]; k++ {
-				sum += a.Val[k] * x[a.ColIdx[k]]
+			klo, khi := rowPtr[s], rowPtr[s+1]
+			var s0, s1 T
+			if khi-klo < 4 { // short row: direct indexing, see file comment
+				for k := klo; k < khi; k++ {
+					s0 += vals[k] * x[colIdx[k]]
+				}
+			} else {
+				cols := colIdx[klo:khi]
+				vs := vals[klo:khi][:len(cols)]
+				for len(cols) >= 4 && len(vs) >= 4 {
+					c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+					s0 += vs[0]*x[c0] + vs[2]*x[c2]
+					s1 += vs[1]*x[c1] + vs[3]*x[c3]
+					cols = cols[4:]
+					vs = vs[4:]
+				}
+				vs = vs[:len(cols)]
+				for k := range cols {
+					s0 += vs[k] * x[cols[k]]
+				}
 			}
-			if sum != 0 {
-				w[a.RowIdx[s]] -= sum
+			if sum := s0 + s1; sum != 0 {
+				w[rowIdx[s]] -= sum
 			}
 		}
 	})
@@ -121,10 +208,12 @@ func SpMVVectorDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w 
 	if grain < 1 {
 		grain = 1
 	}
+	rowPtr, rowIdx, colIdx, vals := a.RowPtr, a.RowIdx, a.ColIdx, a.Val
+	stored := a.StoredRows()
 	p.ParallelFor(nnz, grain, func(lo, hi int) {
-		s := sort.SearchInts(a.RowPtr, lo+1) - 1
-		for s < a.StoredRows() && a.RowPtr[s] < hi {
-			klo, khi := a.RowPtr[s], a.RowPtr[s+1]
+		s := sort.SearchInts(rowPtr, lo+1) - 1
+		for s < stored && rowPtr[s] < hi {
+			klo, khi := rowPtr[s], rowPtr[s+1]
 			cut := klo < lo || khi > hi
 			if klo < lo {
 				klo = lo
@@ -132,12 +221,28 @@ func SpMVVectorDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w 
 			if khi > hi {
 				khi = hi
 			}
-			var sum T
-			for k := klo; k < khi; k++ {
-				sum += a.Val[k] * x[a.ColIdx[k]]
+			var s0, s1 T
+			if khi-klo < 4 { // short row: direct indexing, see file comment
+				for k := klo; k < khi; k++ {
+					s0 += vals[k] * x[colIdx[k]]
+				}
+			} else {
+				cols := colIdx[klo:khi]
+				vs := vals[klo:khi][:len(cols)]
+				for len(cols) >= 4 && len(vs) >= 4 {
+					c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+					s0 += vs[0]*x[c0] + vs[2]*x[c2]
+					s1 += vs[1]*x[c1] + vs[3]*x[c3]
+					cols = cols[4:]
+					vs = vs[4:]
+				}
+				vs = vs[:len(cols)]
+				for k := range cols {
+					s0 += vs[k] * x[cols[k]]
+				}
 			}
-			if sum != 0 {
-				r := a.RowIdx[s]
+			if sum := s0 + s1; sum != 0 {
+				r := rowIdx[s]
 				if cut {
 					exec.AtomicAddFloat(&w[r], -sum)
 				} else {
@@ -155,13 +260,31 @@ func SpMVVectorDCSRSub[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], x, w 
 //
 //sptrsv:hotpath
 func Multiply[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x, y []T) {
+	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
 	p.ParallelFor(a.Rows, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			var sum T
-			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-				sum += a.Val[k] * x[a.ColIdx[k]]
+			klo, khi := rowPtr[i], rowPtr[i+1]
+			var s0, s1 T
+			if khi-klo < 4 { // short row: direct indexing, see file comment
+				for k := klo; k < khi; k++ {
+					s0 += vals[k] * x[colIdx[k]]
+				}
+			} else {
+				cols := colIdx[klo:khi]
+				vs := vals[klo:khi][:len(cols)]
+				for len(cols) >= 4 && len(vs) >= 4 {
+					c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+					s0 += vs[0]*x[c0] + vs[2]*x[c2]
+					s1 += vs[1]*x[c1] + vs[3]*x[c3]
+					cols = cols[4:]
+					vs = vs[4:]
+				}
+				vs = vs[:len(cols)]
+				for k := range cols {
+					s0 += vs[k] * x[cols[k]]
+				}
 			}
-			y[i] = sum
+			y[i] = s0 + s1
 		}
 	})
 }

@@ -94,14 +94,50 @@ func (k SpMVKernel) String() string {
 // return x holds the solution; w is consumed (its tail holds fully-updated
 // partial sums). This is Algorithm 1 restated for the split storage.
 //
+// The loop is written in the repo's BCE shape (DESIGN.md §6.9): length
+// hints up front and per-column window re-slices let the compiler prove
+// index safety once per column instead of once per nonzero; only the
+// data-dependent scatter target w[RowIdx[k]] keeps its check. Scatter
+// targets within a column are distinct rows, so the 4-way unroll keeps
+// the update order — and therefore the rounding — of the rolled loop.
+//
 //sptrsv:hotpath
 func TriSerialSolve[T sparse.Float](strict *sparse.CSC[T], diag []T, w, x []T) {
 	n := len(diag)
+	if n == 0 {
+		return
+	}
+	colPtr := strict.ColPtr
+	_ = colPtr[n]
+	_ = w[n-1]
+	_ = x[n-1]
 	for j := 0; j < n; j++ {
 		xj := w[j] / diag[j]
 		x[j] = xj
-		for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
-			w[strict.RowIdx[k]] -= strict.Val[k] * xj
+		lo, hi := colPtr[j], colPtr[j+1]
+		if hi-lo < 4 { // short column: direct indexing, see internal/kernels/spmv.go
+			for k := lo; k < hi; k++ {
+				w[strict.RowIdx[k]] -= strict.Val[k] * xj
+			}
+			continue
+		}
+		rows := strict.RowIdx[lo:hi]
+		vals := strict.Val[lo:hi][:len(rows)]
+		// Advance both windows by 4 under a dual length guard: prove keeps
+		// both `len >= 4` facts across the constant indices, so only the
+		// data-dependent scatter target w[r] is checked (DESIGN.md §6.9).
+		for len(rows) >= 4 && len(vals) >= 4 {
+			r0, r1, r2, r3 := rows[0], rows[1], rows[2], rows[3]
+			w[r0] -= vals[0] * xj
+			w[r1] -= vals[1] * xj
+			w[r2] -= vals[2] * xj
+			w[r3] -= vals[3] * xj
+			rows = rows[4:]
+			vals = vals[4:]
+		}
+		vals = vals[:len(rows)]
+		for k := range rows {
+			w[rows[k]] -= vals[k] * xj
 		}
 	}
 }
@@ -112,8 +148,13 @@ func TriSerialSolve[T sparse.Float](strict *sparse.CSC[T], diag []T, w, x []T) {
 //sptrsv:hotpath
 func TriDiagOnlySolve[T sparse.Float](p exec.Launcher, diag []T, w, x []T) {
 	p.ParallelFor(len(diag), 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x[i] = w[i] / diag[i]
+		// Re-slice the chunk windows so the divide loop runs with no
+		// per-element bounds checks (DESIGN.md §6.9).
+		d := diag[lo:hi]
+		wv := w[lo:hi][:len(d)]
+		xv := x[lo:hi][:len(d)]
+		for i := range d {
+			xv[i] = wv[i] / d[i]
 		}
 	})
 }
@@ -126,16 +167,21 @@ func TriDiagOnlySolve[T sparse.Float](p exec.Launcher, diag []T, w, x []T) {
 //
 //sptrsv:hotpath
 func TriLevelSetSolve[T sparse.Float](p exec.Launcher, strict *sparse.CSC[T], diag []T, info *levelset.Info, w, x []T) {
+	colPtr, rowIdx, vals := strict.ColPtr, strict.RowIdx, strict.Val
 	for l := 0; l < info.NLevels; l++ {
 		lo, hi := info.LevelPtr[l], info.LevelPtr[l+1]
 		items := info.LevelItem[lo:hi]
 		p.ParallelFor(len(items), 0, func(a, b int) {
-			for t := a; t < b; t++ {
-				j := items[t]
+			its := items[a:b]
+			for t := range its {
+				j := its[t]
 				xj := w[j] / diag[j]
 				x[j] = xj
-				for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
-					exec.AtomicAddFloat(&w[strict.RowIdx[k]], -strict.Val[k]*xj)
+				klo, khi := colPtr[j], colPtr[j+1]
+				rows := rowIdx[klo:khi]
+				vs := vals[klo:khi][:len(rows)]
+				for k := range rows {
+					exec.AtomicAddFloat(&w[rows[k]], -vs[k]*xj)
 				}
 			}
 		})
@@ -170,8 +216,9 @@ func NewSyncFreeState[T sparse.Float](strict *sparse.CSC[T]) *SyncFreeState {
 //
 //sptrsv:hotpath
 func (s *SyncFreeState) reset() {
+	ind := s.indeg[:len(s.base)]
 	for i := range s.base {
-		s.indeg[i].V.Store(s.base[i])
+		ind[i].V.Store(s.base[i])
 	}
 	if faultinject.Enabled {
 		if row, delta, ok := faultinject.CorruptInDegree("sync-free"); ok && row < len(s.indeg) {
@@ -198,6 +245,8 @@ func TriSyncFreeSolve[T sparse.Float](p exec.Launcher, state *SyncFreeState, str
 		return
 	}
 	state.reset()
+	colPtr, rowIdx, vals := strict.ColPtr, strict.RowIdx, strict.Val
+	indeg := state.indeg
 	var next atomic.Int64
 	p.Run(func(worker int) {
 		for {
@@ -205,13 +254,16 @@ func TriSyncFreeSolve[T sparse.Float](p exec.Launcher, state *SyncFreeState, str
 			if j >= n {
 				return
 			}
-			exec.SpinUntilZero(&state.indeg[j].V)
+			exec.SpinUntilZero(&indeg[j].V)
 			xj := w[j] / diag[j]
 			x[j] = xj
-			for k := strict.ColPtr[j]; k < strict.ColPtr[j+1]; k++ {
-				r := strict.RowIdx[k]
-				exec.AtomicAddFloat(&w[r], -strict.Val[k]*xj)
-				state.indeg[r].V.Add(-1)
+			klo, khi := colPtr[j], colPtr[j+1]
+			rows := rowIdx[klo:khi]
+			vs := vals[klo:khi][:len(rows)]
+			for k := range rows {
+				r := rows[k]
+				exec.AtomicAddFloat(&w[r], -vs[k]*xj)
+				indeg[r].V.Add(-1)
 			}
 		}
 	})
@@ -306,29 +358,55 @@ func (s *MergedSchedule) SerialChunks() int {
 //
 //sptrsv:hotpath
 func TriCuSparseLikeSolve[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T) {
+	rowPtr, colIdx, vals := strictCSR.RowPtr, strictCSR.ColIdx, strictCSR.Val
+	// The gather sum runs 4-way unrolled over two accumulators: the serial
+	// sub-per-nonzero dependency chain is split in two, and the window
+	// re-slices keep the body free of bounds checks on the CSR arrays
+	// (DESIGN.md §6.9). Pairing products before subtracting reassociates
+	// the sum, bounded by the documented ULP tolerance.
 	//lint:ignore hotpathalloc one row closure per solve, shared by every chunk launch below
 	row := func(i int) {
+		lo, hi := rowPtr[i], rowPtr[i+1]
 		sum := w[i]
-		for k := strictCSR.RowPtr[i]; k < strictCSR.RowPtr[i+1]; k++ {
-			sum -= strictCSR.Val[k] * x[strictCSR.ColIdx[k]]
+		if hi-lo < 4 { // short row: direct indexing, see internal/kernels/spmv.go
+			for k := lo; k < hi; k++ {
+				sum -= vals[k] * x[colIdx[k]]
+			}
+			x[i] = sum / diag[i]
+			return
 		}
-		x[i] = sum / diag[i]
+		cols := colIdx[lo:hi]
+		vs := vals[lo:hi][:len(cols)]
+		s0, s1 := sum, T(0)
+		for len(cols) >= 4 && len(vs) >= 4 {
+			c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+			s0 -= vs[0]*x[c0] + vs[2]*x[c2]
+			s1 += vs[1]*x[c1] + vs[3]*x[c3]
+			cols = cols[4:]
+			vs = vs[4:]
+		}
+		vs = vs[:len(cols)]
+		for k := range cols {
+			s0 -= vs[k] * x[cols[k]]
+		}
+		x[i] = (s0 - s1) / diag[i]
 	}
 	for c := 0; c < len(sched.serial); c++ {
 		lo, hi := sched.chunkPtr[c], sched.chunkPtr[c+1]
+		items := sched.items[lo:hi]
 		if sched.serial[c] {
 			// One launch, one worker, rows in level order.
 			p.ParallelFor(1, 1, func(_, _ int) {
-				for t := lo; t < hi; t++ {
-					row(sched.items[t])
+				for t := range items {
+					row(items[t])
 				}
 			})
 			continue
 		}
-		items := sched.items[lo:hi]
 		p.ParallelFor(len(items), 0, func(a, b int) {
-			for t := a; t < b; t++ {
-				row(items[t])
+			its := items[a:b]
+			for t := range its {
+				row(its[t])
 			}
 		})
 	}

@@ -75,22 +75,35 @@ func (s *SyncFreeCSRSolver[T]) Solve(b, x []T) {
 	})
 	var next atomic.Int64
 	a := s.strictCSR
+	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
+	ready, diag := s.ready, s.diag
 	s.pool.Run(func(worker int) {
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
+			lo, hi := rowPtr[i], rowPtr[i+1]
+			cols := colIdx[lo:hi]
+			vs := vals[lo:hi][:len(cols)]
+			// The spin stays interleaved with the gather on purpose: while
+			// this row waits on dependency k+1, dependency k's load and
+			// multiply-sub have already issued, so gather work hides under
+			// the wait instead of stacking after it. (A spin-all-then-
+			// gather split measures several percent slower on dependency-
+			// heavy matrices.) The re-tied vs window keeps vs[k] checkless;
+			// only the data-dependent ready[c] and x[c] stay checked.
+			// Acquire: the flag store in the producing worker
+			// happens-before the flag load here, which orders the x[c]
+			// read behind it.
 			sum := b[i]
-			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-				j := a.ColIdx[k]
-				// Acquire: the flag store in the producing worker
-				// happens-before this load, which orders the x[j] read.
-				exec.SpinUntilNonZero(&s.ready[j].V)
-				sum -= a.Val[k] * x[j]
+			for k := range cols {
+				c := cols[k]
+				exec.SpinUntilNonZero(&ready[c].V)
+				sum -= vs[k] * x[c]
 			}
-			x[i] = sum / s.diag[i]
-			s.ready[i].V.Store(1)
+			x[i] = sum / diag[i]
+			ready[i].V.Store(1)
 		}
 	})
 }

@@ -40,11 +40,15 @@ func FromLowerCSR[T sparse.Float](m *sparse.CSR[T]) *Info {
 // entries (i > j) mark i as depending on j.
 func FromLowerCSC[T sparse.Float](m *sparse.CSC[T]) *Info {
 	n := m.Cols
+	colPtr := m.ColPtr
 	level := make([]int, n)
 	for j := 0; j < n; j++ {
 		lj := level[j]
-		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
-			i := m.RowIdx[k]
+		// Re-slice the column window so the per-nonzero walk carries no
+		// bounds checks on RowIdx (DESIGN.md §6.9).
+		rows := m.RowIdx[colPtr[j]:colPtr[j+1]]
+		for k := range rows {
+			i := rows[k]
 			if i <= j {
 				continue
 			}
@@ -65,13 +69,17 @@ func FromLowerPattern(n int, rowPtr, colIdx []int) *Info {
 	level := make([]int, n)
 	for i := 0; i < n; i++ {
 		li := 0
-		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
-			j := colIdx[k]
+		// Re-slice the row window so the per-nonzero walk carries no
+		// bounds checks on ColIdx; level[j] is in bounds once j < i is
+		// established (j < i < n = len(level)).
+		cols := colIdx[rowPtr[i]:rowPtr[i+1]]
+		for k := range cols {
+			j := cols[k]
 			if j >= i {
 				continue
 			}
-			if level[j]+1 > li {
-				li = level[j] + 1
+			if lj := level[j] + 1; lj > li {
+				li = lj
 			}
 		}
 		level[i] = li

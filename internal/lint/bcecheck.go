@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The BCE invariant (DESIGN.md §6.9): functions annotated //sptrsv:hotpath
+// are written so the compiler's prove pass eliminates every bounds check
+// the loop structure allows — what remains is per-window setup and the
+// data-dependent scatter/gather targets, whose count per function is
+// frozen in the committed allowlist (bce_allow.txt). The check recompiles
+// the hot packages with -d=ssa/check_bce, maps each surviving check to its
+// enclosing declared function, and fails when a hot-path function carries
+// more checks than its allowance — i.e. when an edit re-introduced a
+// bounds check the shape used to prove away.
+//
+// Generic kernels are only analyzed when instantiated, so the audit build
+// runs with the bcecheck build tag, which compiles the bce_force.go files
+// referencing every hot-path generic at both element types.
+
+// BCESite is one bounds check the compiler could not eliminate.
+type BCESite struct {
+	File string // path as reported by the compiler, relative to the module root
+	Line int
+	Col  int
+	Kind string // "IsInBounds" or "IsSliceInBounds"
+}
+
+// BCEFunc aggregates the surviving checks of one declared function.
+type BCEFunc struct {
+	File    string
+	Func    string // declaration name: Name, or RecvBase.Name for methods
+	Hotpath bool
+	Sites   []BCESite
+}
+
+// Key is the allowlist lookup key, file:func.
+func (f BCEFunc) Key() string { return f.File + ":" + f.Func }
+
+// bceDiagRE matches one -d=ssa/check_bce diagnostic line.
+var bceDiagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): Found (IsInBounds|IsSliceInBounds)$`)
+
+// RunBCEAudit compiles the given package patterns with the compiler's
+// bounds-check debug pass (plus the bcecheck build tag, see above) and
+// returns the deduplicated surviving checks. dir is the module root the
+// reported paths are relative to. The build cache replays compiler
+// diagnostics, so repeated runs are cheap and deterministic.
+func RunBCEAudit(dir string, patterns []string) ([]BCESite, error) {
+	args := append([]string{"build", "-tags", "bcecheck", "-gcflags=-d=ssa/check_bce"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	sites, perr := parseBCEDiagnostics(string(out))
+	if err != nil && perr != nil {
+		// Build failed outright (no diagnostics parsed): surface the output.
+		return nil, fmt.Errorf("go build: %v\n%s", err, out)
+	}
+	return sites, nil
+}
+
+// parseBCEDiagnostics extracts the check sites from the build output,
+// skipping the "# pkg" headers and deduplicating: a generic function
+// instantiated at several types, or referenced from several audited
+// packages, reports the same site once per instantiation.
+func parseBCEDiagnostics(out string) ([]BCESite, error) {
+	seen := map[BCESite]bool{}
+	var sites []BCESite
+	matched := false
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		m := bceDiagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		matched = true
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		s := BCESite{File: filepath.ToSlash(m[1]), Line: ln, Col: col, Kind: m[4]}
+		if !seen[s] {
+			seen[s] = true
+			sites = append(sites, s)
+		}
+	}
+	if !matched {
+		return sites, fmt.Errorf("no check_bce diagnostics in build output")
+	}
+	return sites, nil
+}
+
+// GroupBCESites parses each reported file and attributes every site to its
+// enclosing declared function (closures belong to the declaration that
+// contains them). Sites outside any function declaration — package-level
+// initializers — are dropped: nothing hot runs there.
+func GroupBCESites(dir string, sites []BCESite) ([]BCEFunc, error) {
+	byFile := map[string][]BCESite{}
+	for _, s := range sites {
+		byFile[s.File] = append(byFile[s.File], s)
+	}
+	funcs := map[string]*BCEFunc{}
+	for file, fs := range byFile {
+		spans, err := fileFuncSpans(filepath.Join(dir, filepath.FromSlash(file)))
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range fs {
+			for _, sp := range spans {
+				if s.Line < sp.start || s.Line > sp.end {
+					continue
+				}
+				key := file + ":" + sp.name
+				f := funcs[key]
+				if f == nil {
+					f = &BCEFunc{File: file, Func: sp.name, Hotpath: sp.hotpath}
+					funcs[key] = f
+				}
+				f.Sites = append(f.Sites, s)
+				break
+			}
+		}
+	}
+	out := make([]BCEFunc, 0, len(funcs))
+	for _, f := range funcs {
+		sort.Slice(f.Sites, func(i, j int) bool {
+			if f.Sites[i].Line != f.Sites[j].Line {
+				return f.Sites[i].Line < f.Sites[j].Line
+			}
+			return f.Sites[i].Col < f.Sites[j].Col
+		})
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// funcSpan is the line range of one function declaration.
+type funcSpan struct {
+	name       string
+	start, end int
+	hotpath    bool
+}
+
+// fileFuncSpans parses one source file and returns the line span, name and
+// hotpath annotation of every function declaration.
+func fileFuncSpans(path string) ([]funcSpan, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("bcecheck: parse %s: %v", path, err)
+	}
+	var spans []funcSpan
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			if base := recvBaseName(fd.Recv.List[0].Type); base != "" {
+				name = base + "." + name
+			}
+		}
+		sp := funcSpan{
+			name:  name,
+			start: fset.Position(fd.Pos()).Line,
+			end:   fset.Position(fd.End()).Line,
+		}
+		if fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				if pragmaName(c.Text) == pragmaHotpath {
+					sp.hotpath = true
+				}
+			}
+		}
+		spans = append(spans, sp)
+	}
+	return spans, nil
+}
+
+// BCEAllow is one allowlist entry: the frozen bounds-check budget of a
+// hot-path function.
+type BCEAllow struct {
+	File string
+	Func string
+	Max  int
+}
+
+// ParseBCEAllow reads the allowlist: one `file:func max-sites` entry per
+// line, '#' comments and blank lines ignored. A trailing `# reason` on an
+// entry line is encouraged and ignored by the parser.
+func ParseBCEAllow(r io.Reader) ([]BCEAllow, error) {
+	var out []BCEAllow
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bce_allow line %d: want `file:func max-sites`, got %q", lineNo, sc.Text())
+		}
+		colon := strings.LastIndex(fields[0], ":")
+		if colon <= 0 || colon == len(fields[0])-1 {
+			return nil, fmt.Errorf("bce_allow line %d: malformed key %q, want file:func", lineNo, fields[0])
+		}
+		max, err := strconv.Atoi(fields[1])
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("bce_allow line %d: bad max-sites %q", lineNo, fields[1])
+		}
+		out = append(out, BCEAllow{File: fields[0][:colon], Func: fields[0][colon+1:], Max: max})
+	}
+	return out, sc.Err()
+}
+
+// LoadBCEAllow reads the allowlist file; a missing file is an empty list.
+func LoadBCEAllow(path string) ([]BCEAllow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ParseBCEAllow(f)
+}
+
+// BCEResult is the gate verdict over one audit.
+type BCEResult struct {
+	// Violations fail the check: hot-path functions whose surviving
+	// bounds-check count exceeds (or is missing from) the allowlist.
+	Violations []string
+	// Stale entries are informational: allowances higher than the current
+	// count, or entries whose function no longer reports any checks —
+	// candidates for tightening.
+	Stale []string
+	// Hotpath counts the hot-path functions with surviving checks.
+	Hotpath int
+}
+
+// CheckBCE gates the grouped audit against the allowlist. Only hot-path
+// functions are gated; everything else in the audited packages is
+// reported by the audit but carries no budget.
+func CheckBCE(funcs []BCEFunc, allow []BCEAllow) BCEResult {
+	budget := map[string]int{}
+	for _, a := range allow {
+		budget[a.File+":"+a.Func] = a.Max
+	}
+	var res BCEResult
+	seen := map[string]bool{}
+	for _, f := range funcs {
+		if !f.Hotpath {
+			continue
+		}
+		res.Hotpath++
+		key := f.Key()
+		seen[key] = true
+		max, ok := budget[key]
+		switch {
+		case !ok:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: %d bounds check(s) in hot-path function not in allowlist (lines %s)",
+					key, len(f.Sites), siteLines(f.Sites)))
+		case len(f.Sites) > max:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: %d bounds check(s), allowlist permits %d (lines %s) — a provable shape regressed",
+					key, len(f.Sites), max, siteLines(f.Sites)))
+		case len(f.Sites) < max:
+			res.Stale = append(res.Stale,
+				fmt.Sprintf("%s: %d bounds check(s), allowlist permits %d — tighten the allowance", key, len(f.Sites), max))
+		}
+	}
+	for _, a := range allow {
+		key := a.File + ":" + a.Func
+		if !seen[key] {
+			res.Stale = append(res.Stale,
+				fmt.Sprintf("%s: allowlisted but reports no bounds checks — remove or tighten to 0", key))
+		}
+	}
+	return res
+}
+
+func siteLines(sites []BCESite) string {
+	var b strings.Builder
+	last := -1
+	for _, s := range sites {
+		if s.Line == last {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s.Line)
+		last = s.Line
+	}
+	return b.String()
+}
+
+// FormatBCEAllow renders the current hot-path audit as allowlist content,
+// used by -bce-update to refresh the committed file after a reviewed
+// change to the kernel shapes.
+func FormatBCEAllow(funcs []BCEFunc) string {
+	var b strings.Builder
+	b.WriteString("# BCE allowlist (internal/lint/bcecheck.go, DESIGN.md §6.9).\n")
+	b.WriteString("# One entry per //sptrsv:hotpath function with bounds checks the prove\n")
+	b.WriteString("# pass cannot eliminate: per-window setup re-slices and data-dependent\n")
+	b.WriteString("# scatter/gather targets. `make bcecheck` fails when a function exceeds\n")
+	b.WriteString("# its budget; regenerate with `go run ./cmd/sptrsvlint -bce -bce-update`\n")
+	b.WriteString("# only after reviewing why the count changed.\n")
+	for _, f := range funcs {
+		if !f.Hotpath {
+			continue
+		}
+		fmt.Fprintf(&b, "%s %d  # lines %s\n", f.Key(), len(f.Sites), siteLines(f.Sites))
+	}
+	return b.String()
+}

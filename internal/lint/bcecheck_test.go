@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBCEDiagnostics(t *testing.T) {
+	out := `# github.com/sss-lab/blocksptrsv/internal/kernels
+internal/kernels/sptrsv.go:125:5: Found IsInBounds
+internal/kernels/sptrsv.go:125:5: Found IsInBounds
+internal/kernels/sptrsv.go:132:14: Found IsSliceInBounds
+internal/sparse/types.go:92:6: Found IsInBounds
+not a diagnostic line
+`
+	sites, err := parseBCEDiagnostics(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("got %d sites, want 3 (dedup): %v", len(sites), sites)
+	}
+	if sites[0] != (BCESite{File: "internal/kernels/sptrsv.go", Line: 125, Col: 5, Kind: "IsInBounds"}) {
+		t.Errorf("unexpected first site %+v", sites[0])
+	}
+	if sites[2].File != "internal/sparse/types.go" || sites[2].Kind != "IsInBounds" {
+		t.Errorf("unexpected third site %+v", sites[2])
+	}
+	if _, err := parseBCEDiagnostics("# pkg\nsome build error\n"); err == nil {
+		t.Error("want error when no diagnostics parsed")
+	}
+}
+
+func TestParseBCEAllow(t *testing.T) {
+	in := `
+# comment
+internal/kernels/sptrsv.go:TriSerialSolve 13  # lines 111,112
+internal/sparse/permute.go:PermuteVecInto 7
+`
+	allow, err := ParseBCEAllow(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allow) != 2 {
+		t.Fatalf("got %d entries, want 2", len(allow))
+	}
+	want := BCEAllow{File: "internal/kernels/sptrsv.go", Func: "TriSerialSolve", Max: 13}
+	if allow[0] != want {
+		t.Errorf("got %+v want %+v", allow[0], want)
+	}
+	for _, bad := range []string{
+		"justonefield\n",
+		"file.go:Func notanumber\n",
+		"file.go:Func -1\n",
+		"missingcolon 3\n",
+	} {
+		if _, err := ParseBCEAllow(strings.NewReader(bad)); err == nil {
+			t.Errorf("want parse error for %q", bad)
+		}
+	}
+}
+
+func TestCheckBCE(t *testing.T) {
+	funcs := []BCEFunc{
+		{File: "a.go", Func: "Hot", Hotpath: true, Sites: make([]BCESite, 3)},
+		{File: "a.go", Func: "Cold", Hotpath: false, Sites: make([]BCESite, 9)},
+		{File: "b.go", Func: "Tight", Hotpath: true, Sites: make([]BCESite, 1)},
+		{File: "b.go", Func: "New", Hotpath: true, Sites: make([]BCESite, 2)},
+	}
+	allow := []BCEAllow{
+		{File: "a.go", Func: "Hot", Max: 3},
+		{File: "b.go", Func: "Tight", Max: 4},
+		{File: "c.go", Func: "Gone", Max: 2},
+	}
+	res := CheckBCE(funcs, allow)
+	if res.Hotpath != 3 {
+		t.Errorf("Hotpath = %d, want 3", res.Hotpath)
+	}
+	// New is unlisted -> violation; Cold is not gated.
+	if len(res.Violations) != 1 || !strings.Contains(res.Violations[0], "b.go:New") {
+		t.Errorf("violations = %v, want one for b.go:New", res.Violations)
+	}
+	// Tight under budget and Gone unused -> two stale notes.
+	if len(res.Stale) != 2 {
+		t.Errorf("stale = %v, want 2 notes", res.Stale)
+	}
+
+	// Exceeding the budget is a violation.
+	funcs[0].Sites = make([]BCESite, 5)
+	res = CheckBCE(funcs, allow)
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "a.go:Hot") && strings.Contains(v, "permits 3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want over-budget violation for a.go:Hot, got %v", res.Violations)
+	}
+}
+
+func TestGroupBCESites(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+//sptrsv:hotpath
+func Hot(s []int) int {
+	f := func() int { return s[3] }
+	return s[0] + f()
+}
+
+func Cold(s []int) int { return s[1] }
+
+type T struct{}
+
+//sptrsv:hotpath
+func (t *T) M(s []int) int { return s[2] }
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sites := []BCESite{
+		{File: "p.go", Line: 5, Col: 25, Kind: "IsInBounds"},  // closure inside Hot
+		{File: "p.go", Line: 6, Col: 10, Kind: "IsInBounds"},  // Hot body
+		{File: "p.go", Line: 9, Col: 33, Kind: "IsInBounds"},  // Cold
+		{File: "p.go", Line: 14, Col: 36, Kind: "IsInBounds"}, // method M
+	}
+	funcs, err := GroupBCESites(dir, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]BCEFunc{}
+	for _, f := range funcs {
+		byKey[f.Key()] = f
+	}
+	hot, ok := byKey["p.go:Hot"]
+	if !ok || !hot.Hotpath || len(hot.Sites) != 2 {
+		t.Errorf("Hot = %+v, want hotpath with 2 sites (closure attributed to Hot)", hot)
+	}
+	cold, ok := byKey["p.go:Cold"]
+	if !ok || cold.Hotpath || len(cold.Sites) != 1 {
+		t.Errorf("Cold = %+v, want non-hotpath with 1 site", cold)
+	}
+	m, ok := byKey["p.go:T.M"]
+	if !ok || !m.Hotpath {
+		t.Errorf("T.M = %+v, want hotpath method keyed T.M", m)
+	}
+}
+
+// TestBCEAuditRepo runs the real audit over the module and gates it
+// against the committed allowlist — the same check `make bcecheck` wires
+// into CI, so a kernel edit that regresses a provable shape fails here
+// first.
+func TestBCEAuditRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles the hot packages; skipped in -short")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := RunBCEAudit(root, []string{"./internal/kernels", "./internal/exec", "./internal/sparse", "./internal/levelset"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs, err := GroupBCESites(root, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allow, err := LoadBCEAllow(filepath.Join(root, "internal/lint/bce_allow.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allow) == 0 {
+		t.Fatal("committed allowlist is missing or empty")
+	}
+	res := CheckBCE(funcs, allow)
+	for _, v := range res.Violations {
+		t.Errorf("bce: %s", v)
+	}
+	if res.Hotpath == 0 {
+		t.Error("audit saw no hot-path functions — forced instantiation broken?")
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -118,11 +118,27 @@ func PermuteVec[T Float](src []T, newIdx []int) []T {
 }
 
 // PermuteVecInto is PermuteVec writing into dst, avoiding an allocation.
+// The gather side is re-sliced to len(newIdx) so only the data-dependent
+// scatter index keeps a bounds check, and the loop runs 4-way unrolled
+// (DESIGN.md §6.9); permutation targets are distinct, so the unroll
+// cannot reorder conflicting writes.
 //
 //sptrsv:hotpath
 func PermuteVecInto[T Float](dst, src []T, newIdx []int) {
-	for i, p := range newIdx {
-		dst[p] = src[i]
+	idx := newIdx
+	src = src[:len(idx)]
+	for len(idx) >= 4 && len(src) >= 4 {
+		p0, p1, p2, p3 := idx[0], idx[1], idx[2], idx[3]
+		dst[p0] = src[0]
+		dst[p1] = src[1]
+		dst[p2] = src[2]
+		dst[p3] = src[3]
+		idx = idx[4:]
+		src = src[4:]
+	}
+	src = src[:len(idx)]
+	for i := range idx {
+		dst[idx[i]] = src[i]
 	}
 }
 
@@ -130,7 +146,19 @@ func PermuteVecInto[T Float](dst, src []T, newIdx []int) {
 //
 //sptrsv:hotpath
 func UnpermuteVecInto[T Float](dst, src []T, newIdx []int) {
-	for i, p := range newIdx {
-		dst[i] = src[p]
+	idx := newIdx
+	dst = dst[:len(idx)]
+	for len(idx) >= 4 && len(dst) >= 4 {
+		p0, p1, p2, p3 := idx[0], idx[1], idx[2], idx[3]
+		dst[0] = src[p0]
+		dst[1] = src[p1]
+		dst[2] = src[p2]
+		dst[3] = src[p3]
+		idx = idx[4:]
+		dst = dst[4:]
+	}
+	dst = dst[:len(idx)]
+	for i := range idx {
+		dst[i] = src[idx[i]]
 	}
 }
