@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint bcecheck fuzz-short
+.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint bcecheck fuzz-short daemon-smoke
 
-ci: vet build test race chaos perfgate lint bcecheck fuzz-short
+ci: vet build test race chaos daemon-smoke perfgate lint bcecheck fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +24,7 @@ test:
 
 race:
 	$(GO) test -race . ./internal/exec ./internal/kernels ./internal/block \
-		./internal/core ./internal/metrics ./internal/bench
+		./internal/core ./internal/metrics ./internal/bench ./internal/daemon
 
 # Project-specific static analyzers (DESIGN.md §6.8): hot-path allocation
 # discipline, atomic-field access, spin-loop guards, wall-clock placement,
@@ -57,7 +57,8 @@ fuzz-short:
 # drive panics, in-degree corruption, solution poisoning and worker delays
 # through the guarded solve path.
 chaos:
-	$(GO) test -tags faultinject ./internal/faultinject ./internal/block ./internal/kernels
+	$(GO) test -tags faultinject ./internal/faultinject ./internal/block ./internal/kernels \
+		./internal/daemon
 
 # Coverage gate for the solver core and the execution substrate. Floors
 # sit ~10 points below the measured coverage so refactors have headroom
@@ -97,6 +98,13 @@ bench-json:
 perfgate:
 	$(GO) run ./cmd/sptrsvbench -suite -short -scale $(BENCH_SCALE) -repeats 3 -warmup 1 \
 		-baseline $(BENCH_BASELINE) -gate $(PERFGATE_PCT) -json /tmp/blocksptrsv-perfgate.json
+
+# Daemon smoke (part of `make ci`): an in-process one-worker sptrsvd
+# under a 2s concurrent burst must coalesce requests into multi-RHS
+# batches (factor > 1) and answer every request without an error
+# response, then drain cleanly. DESIGN.md §6.10.
+daemon-smoke:
+	$(GO) run ./cmd/sptrsvd -smoke
 
 # Launch-latency microbenchmarks: the three launcher styles head to head.
 bench-launch:

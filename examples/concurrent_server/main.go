@@ -1,94 +1,168 @@
-// Concurrent triangular-solve service: one preprocessed solver shared by
-// many goroutines via sessions. The analysis (reordering, blocking,
-// kernel selection) is immutable and shared; each session carries only
-// its private working vectors and dependency counters, so request
-// handlers solve fully concurrently.
+// Thin client for the solver daemon: where this example used to carry
+// its own session pool and request loop, that machinery now lives in
+// `sptrsvd` (cmd/sptrsvd) — a long-lived service that coalesces
+// concurrent single-RHS requests into multi-RHS batch solves, with
+// bounded admission, typed backpressure, and per-request deadlines.
+// What is left here is what a real client is: plain HTTP and JSON,
+// no library dependency at all.
 //
-//	go run ./examples/concurrent_server
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/sptrsvd -matrix demo=grid:120 &
+//	go run ./examples/concurrent_server -matrix demo -requests 200 -c 8
+//
+// The client fires concurrent solve requests, then reads the daemon's
+// /matrices stats to show how many right-hand sides each batch solve
+// amortised (the coalesce factor — the number the daemon exists to push
+// above 1).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
-	"math"
 	"math/rand"
+	"net/http"
+	"os"
+	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
-
-	sptrsv "github.com/sss-lab/blocksptrsv"
 )
 
 func main() {
-	// The service's system matrix: an ILU(0) L-factor of a PDE problem.
-	a := sptrsv.GridSPD(250, 250)
-	l, _, err := sptrsv.ILU0(a)
-	if err != nil {
-		log.Fatal(err)
-	}
-	t0 := time.Now()
-	solver, err := sptrsv.Analyze(l, sptrsv.DefaultOptions(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("analysis: n=%d nnz=%d in %v (shared by all workers)\n",
-		l.Rows, l.NNZ(), time.Since(t0).Round(time.Millisecond))
+	url := flag.String("url", "http://127.0.0.1:8437", "daemon base URL")
+	matrix := flag.String("matrix", "demo", "matrix name registered with the daemon")
+	requests := flag.Int("requests", 200, "total solve requests")
+	clients := flag.Int("c", 8, "concurrent clients")
+	flag.Parse()
 
-	const (
-		handlers = 8
-		requests = 200
-	)
-	jobs := make(chan int64, requests)
-	for r := 0; r < requests; r++ {
+	stats, err := matrixStats(*url, *matrix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cannot reach the daemon: %v\n\nstart one first:\n\tgo run ./cmd/sptrsvd -matrix %s=grid:120\n", err, *matrix)
+		os.Exit(1)
+	}
+	fmt.Printf("daemon serves %q: %d rows, %d nonzeros\n", *matrix, stats.Rows, stats.NNZ)
+	batchesBefore, batchedBefore := stats.Batches, stats.Batched
+
+	jobs := make(chan int64, *requests)
+	for r := 0; r < *requests; r++ {
 		jobs <- int64(r)
 	}
 	close(jobs)
 
-	var solved atomic.Int64
-	var worstResidual atomicFloat
-	var wg sync.WaitGroup
-	t0 = time.Now()
-	for h := 0; h < handlers; h++ {
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  int
+		wg        sync.WaitGroup
+	)
+	t0 := time.Now()
+	for c := 0; c < *clients; c++ {
 		wg.Add(1)
-		go func(h int) {
+		go func() {
 			defer wg.Done()
-			session := solver.NewSession() // private scratch per goroutine
-			b := make([]float64, l.Rows)
-			x := make([]float64, l.Rows)
+			var mine []time.Duration
+			var failed int
 			for seed := range jobs {
 				rng := rand.New(rand.NewSource(seed))
+				b := make([]float64, stats.Rows)
 				for i := range b {
 					b[i] = rng.NormFloat64()
 				}
-				session.Solve(b, x)
-				worstResidual.max(sptrsv.Residual(l, x, b))
-				solved.Add(1)
+				start := time.Now()
+				x, err := solve(*url, *matrix, b)
+				if err != nil || len(x) != stats.Rows {
+					failed++
+					continue
+				}
+				mine = append(mine, time.Since(start))
 			}
-		}(h)
+			mu.Lock()
+			latencies = append(latencies, mine...)
+			failures += failed
+			mu.Unlock()
+		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
-	fmt.Printf("%d requests on %d handlers in %v (%.0f solves/s)\n",
-		solved.Load(), handlers, elapsed.Round(time.Millisecond),
-		float64(solved.Load())/elapsed.Seconds())
-	fmt.Printf("worst residual across all requests: %.2e\n", worstResidual.load())
-	if worstResidual.load() > 1e-9 {
-		log.Fatal("concurrent sessions produced a bad solution")
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("%d requests on %d clients in %v (%.0f solves/s, %d failed)\n",
+		len(latencies), *clients, elapsed.Round(time.Millisecond),
+		float64(len(latencies))/elapsed.Seconds(), failures)
+	if n := len(latencies); n > 0 {
+		fmt.Printf("latency p50 %v  p99 %v  max %v\n",
+			latencies[n/2].Round(time.Microsecond),
+			latencies[n*99/100].Round(time.Microsecond),
+			latencies[n-1].Round(time.Microsecond))
+	}
+
+	if after, err := matrixStats(*url, *matrix); err == nil {
+		if db := after.Batches - batchesBefore; db > 0 {
+			fmt.Printf("daemon coalesced %.2f RHS per batch solve over this run\n",
+				float64(after.Batched-batchedBefore)/float64(db))
+		}
+	}
+	if failures > 0 {
+		log.Fatal("some requests failed")
 	}
 }
 
-type atomicFloat struct{ bits atomic.Uint64 }
+// The daemon's wire types, restated locally: a client needs nothing from
+// the library, that is the point of the service boundary.
 
-func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+type solveRequest struct {
+	B []float64 `json:"b"`
+}
 
-func (f *atomicFloat) max(v float64) {
-	for {
-		old := f.bits.Load()
-		if v <= math.Float64frombits(old) {
-			return
-		}
-		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
-			return
+type solveResponse struct {
+	X []float64 `json:"x"`
+}
+
+type matrixInfo struct {
+	Name    string `json:"name"`
+	Rows    int    `json:"rows"`
+	NNZ     int    `json:"nnz"`
+	Batches int64  `json:"batches"`
+	Batched int64  `json:"batched_rhs"`
+}
+
+func solve(url, matrix string, b []float64) ([]float64, error) {
+	body, err := json.Marshal(solveRequest{B: b})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url+"/solve/"+matrix, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	return sr.X, nil
+}
+
+func matrixStats(url, matrix string) (matrixInfo, error) {
+	resp, err := http.Get(url + "/matrices")
+	if err != nil {
+		return matrixInfo{}, err
+	}
+	defer resp.Body.Close()
+	var all []matrixInfo
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return matrixInfo{}, err
+	}
+	for _, m := range all {
+		if m.Name == matrix {
+			return m, nil
 		}
 	}
+	return matrixInfo{}, fmt.Errorf("matrix %q not registered (daemon serves %d others)", matrix, len(all))
 }

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"math"
+	"time"
+)
+
+// Service-latency reporting: the daemon load generator measures
+// per-request wall times; this file folds them into the versioned
+// report schema so SLO runs land next to throughput runs with the same
+// envelope, environment capture, and decoder.
+
+// LatencyResult is one load-generator measurement against one matrix:
+// request counts by outcome plus the latency percentile cuts of the
+// successful requests. The percentiles are the service-level numbers —
+// they include queueing, coalescing, and the solve itself.
+type LatencyResult struct {
+	Matrix      string  `json:"matrix"`
+	Rows        int     `json:"rows"`
+	Concurrency int     `json:"concurrency"`
+	DurationNs  int64   `json:"duration_ns"`
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Deadlined   int64   `json:"deadlined"`
+	Failed      int64   `json:"failed"`
+	Coalesce    float64 `json:"coalesce"` // mean RHS per batch solve over the run
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	P999Ns      int64   `json:"p999_ns"`
+	MaxNs       int64   `json:"max_ns"`
+}
+
+// Percentile cuts a sorted-ascending sample set at quantile q in [0,1]
+// using the nearest-rank method (ceil(q·n), the conservative convention
+// for tail SLOs: p999 of 1000 samples is the 1000th, not an interpolation
+// below it). Zero for an empty set.
+func Percentile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// NewLatencyResult folds one run's sorted latencies and outcome counts
+// into a LatencyResult with the standard percentile cuts.
+func NewLatencyResult(matrix string, rows, concurrency int, elapsed time.Duration, requests, ok, shed, deadlined, failed int64, coalesce float64, sorted []time.Duration) LatencyResult {
+	lr := LatencyResult{
+		Matrix:      matrix,
+		Rows:        rows,
+		Concurrency: concurrency,
+		DurationNs:  elapsed.Nanoseconds(),
+		Requests:    requests,
+		OK:          ok,
+		Shed:        shed,
+		Deadlined:   deadlined,
+		Failed:      failed,
+		Coalesce:    coalesce,
+		P50Ns:       Percentile(sorted, 0.50).Nanoseconds(),
+		P99Ns:       Percentile(sorted, 0.99).Nanoseconds(),
+		P999Ns:      Percentile(sorted, 0.999).Nanoseconds(),
+	}
+	if n := len(sorted); n > 0 {
+		lr.MaxNs = sorted[n-1].Nanoseconds()
+	}
+	return lr
+}
+
+// LoadReport wraps latency results in the versioned report envelope
+// (suite LoadSuiteName, current schema, this process's environment).
+func LoadReport(workers int, results []LatencyResult) *BenchReport {
+	return &BenchReport{
+		Schema:  ReportSchemaVersion,
+		Suite:   LoadSuiteName,
+		Workers: workers,
+		Env:     captureEnv(),
+		Latency: results,
+	}
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDecodeReportV1Compat pins backward compatibility: the committed
+// v1 fixture (the schema every baseline before the latency section was
+// written in, including BENCH_baseline.json) must keep decoding under
+// the v2 reader, with its fields intact and no latency section imagined
+// into it. Breaking this test means committed baselines stop gating.
+func TestDecodeReportV1Compat(t *testing.T) {
+	rep, err := ReadReportFile("testdata/report_v1.json")
+	if err != nil {
+		t.Fatalf("v1 fixture no longer decodes: %v", err)
+	}
+	if rep.Schema != 1 {
+		t.Fatalf("schema = %d, want 1", rep.Schema)
+	}
+	if rep.Suite != "sptrsv-suite" {
+		t.Fatalf("suite = %q", rep.Suite)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	if rep.Results[0].Matrix != "grid-120" || rep.Results[0].MedianNs != 95000 {
+		t.Fatalf("v1 fields mangled: %+v", rep.Results[0])
+	}
+	if len(rep.Latency) != 0 {
+		t.Fatalf("v1 report grew a latency section: %+v", rep.Latency)
+	}
+	// A v1 report must still gate against a v2-decoded copy of itself.
+	if g := Gate(rep, rep, 25); !g.Pass() {
+		t.Fatalf("self-gate failed: %+v", g.Regressions)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var empty []time.Duration
+	if got := Percentile(empty, 0.99); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	sorted := make([]time.Duration, 1000)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{0.5, 500 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+		{1, 1000 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); got != c.want {
+			t.Fatalf("p%g = %v, want %v", c.q*100, got, c.want)
+		}
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := Percentile(one, q); got != 7*time.Millisecond {
+			t.Fatalf("single-sample p%g = %v", q*100, got)
+		}
+	}
+}
+
+// TestLoadReportRoundTrip: a latency report survives the same
+// encode/decode cycle the suite reports do, with the v2 schema header
+// and the LoadSuiteName suite tag.
+func TestLoadReportRoundTrip(t *testing.T) {
+	lats := []time.Duration{time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond}
+	lr := NewLatencyResult("grid-120", 14400, 8, 2*time.Second, 100, 95, 3, 2, 0, 4.75, lats)
+	if lr.P50Ns != (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("p50 = %d", lr.P50Ns)
+	}
+	if lr.MaxNs != (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("max = %d", lr.MaxNs)
+	}
+	rep := LoadReport(2, []LatencyResult{lr})
+	if rep.Schema != ReportSchemaVersion || rep.Suite != LoadSuiteName {
+		t.Fatalf("envelope = %d/%q", rep.Schema, rep.Suite)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("load report did not round-trip:\ngot  %+v\nwant %+v", got, rep)
+	}
+}

@@ -39,11 +39,22 @@ import (
 
 // ReportSchemaVersion is the BenchReport JSON schema version. Bump it on
 // any incompatible change; DecodeReport refuses reports it cannot read.
-const ReportSchemaVersion = 1
+// History: v1 = throughput results only; v2 (additive) = optional
+// "latency" section with service percentiles, so v1 reports still decode.
+const ReportSchemaVersion = 2
+
+// oldestReadableSchema is the floor of DecodeReport's compatibility
+// window: every bump since it has been additive.
+const oldestReadableSchema = 1
 
 // reportSuiteName identifies this suite inside a BenchReport, so a report
 // from a different suite is never gated against this one's baseline.
 const reportSuiteName = "sptrsv-suite"
+
+// LoadSuiteName identifies a daemon load-generator report (`sptrsvd
+// -loadgen`): latency percentiles instead of solve medians, same
+// envelope, same decoder.
+const LoadSuiteName = "sptrsv-load"
 
 // EnvInfo captures the environment a report was produced in — enough to
 // judge whether two reports are comparable at all.
@@ -89,6 +100,9 @@ type BenchReport struct {
 	Workers int           `json:"workers"`
 	Env     EnvInfo       `json:"env"`
 	Results []SuiteResult `json:"results"`
+	// Latency holds service-latency percentiles (schema ≥ 2, suite
+	// LoadSuiteName); empty in throughput reports.
+	Latency []LatencyResult `json:"latency,omitempty"`
 }
 
 // SuiteConfig sizes a suite run. The zero value is not usable; start from
@@ -350,11 +364,11 @@ func DecodeReport(r io.Reader) (*BenchReport, error) {
 	if err := dec.Decode(&rep); err != nil {
 		return nil, fmt.Errorf("bench report: %w", err)
 	}
-	if rep.Schema != ReportSchemaVersion {
-		return nil, fmt.Errorf("bench report: schema %d, this build reads %d", rep.Schema, ReportSchemaVersion)
+	if rep.Schema < oldestReadableSchema || rep.Schema > ReportSchemaVersion {
+		return nil, fmt.Errorf("bench report: schema %d, this build reads %d..%d", rep.Schema, oldestReadableSchema, ReportSchemaVersion)
 	}
-	if rep.Suite != reportSuiteName {
-		return nil, fmt.Errorf("bench report: suite %q, want %q", rep.Suite, reportSuiteName)
+	if rep.Suite != reportSuiteName && rep.Suite != LoadSuiteName {
+		return nil, fmt.Errorf("bench report: suite %q, want %q or %q", rep.Suite, reportSuiteName, LoadSuiteName)
 	}
 	return &rep, nil
 }

@@ -108,33 +108,10 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 		return err
 	}
 
-	g := exec.NewGuard()
-	stop := make(chan struct{})
-	var watchers sync.WaitGroup
-	if ctx.Done() != nil {
-		watchers.Add(1)
-		go func() {
-			defer watchers.Done()
-			select {
-			case <-ctx.Done():
-				g.Trip(ctx.Err())
-			case <-stop:
-			}
-		}()
-	}
-	if s.opts.StallTimeout > 0 {
-		watchers.Add(1)
-		go func() {
-			defer watchers.Done()
-			watchdog(g, s.opts.StallTimeout, stop)
-		}()
-	}
+	g, stopWatchers := s.startGuard(ctx)
 	// Stop the watchers before returning — and before a kernel panic
 	// unwinds further, so no watchdog outlives its solve.
-	defer func() {
-		close(stop)
-		watchers.Wait()
-	}()
+	defer stopWatchers()
 
 	timed, solveT0 := s.solveClock()
 	xp := x
@@ -162,6 +139,40 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 		return s.verifyAndRecover(b, x, w, xpScratch, states, gs, stats)
 	}
 	return nil
+}
+
+// startGuard arms the cancellation machinery shared by the guarded solve
+// paths: a fresh guard, a context watcher that trips it on cancellation,
+// and (when Options.StallTimeout is set) the stall watchdog. The returned
+// stop function tears both watchers down and must run before the solve
+// returns — including while a kernel panic unwinds — so no watchdog ever
+// outlives its solve.
+func (s *Solver[T]) startGuard(ctx context.Context) (*exec.Guard, func()) {
+	g := exec.NewGuard()
+	stop := make(chan struct{})
+	var watchers sync.WaitGroup
+	if ctx.Done() != nil {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			select {
+			case <-ctx.Done():
+				g.Trip(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
+	if s.opts.StallTimeout > 0 {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			watchdog(g, s.opts.StallTimeout, stop)
+		}()
+	}
+	return g, func() {
+		close(stop)
+		watchers.Wait()
+	}
 }
 
 // solveStepsGuarded mirrors solveSteps with a guard check between blocks

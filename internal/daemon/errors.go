@@ -1,0 +1,58 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed admission and degradation errors. Every way a request can fail is
+// a distinct, inspectable type so clients (and the HTTP layer) can react
+// mechanically: back off on overload, retry elsewhere on drain, give up on
+// a fault. None of them is ever wrapped in a generic "internal error".
+
+// ErrUnknownMatrix reports a solve against a name no AddMatrix registered.
+var ErrUnknownMatrix = errors.New("daemon: unknown matrix")
+
+// ErrDraining reports a request that arrived after Shutdown began. The
+// daemon finishes what it already admitted but accepts nothing new.
+var ErrDraining = errors.New("daemon: shutting down")
+
+// OverloadError is the typed backpressure signal: the matrix's bounded
+// admission queue was full, so the request was shed without queueing. The
+// HTTP layer maps it to 429 with a Retry-After header.
+type OverloadError struct {
+	Matrix string
+	// Depth is the queue bound that was hit.
+	Depth int
+	// RetryAfter is the server's backoff hint, derived from recent solve
+	// latency so clients back off roughly one batch's worth of work.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("daemon: %s queue full (depth %d), retry after %v", e.Matrix, e.Depth, e.RetryAfter)
+}
+
+// DimensionError reports a right-hand side whose length does not match
+// the matrix it was submitted against.
+type DimensionError struct {
+	Matrix    string
+	Want, Got int
+}
+
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("daemon: %s wants %d right-hand-side values, got %d", e.Matrix, e.Want, e.Got)
+}
+
+// SolveFault reports a solve that panicked and was isolated by the worker:
+// the panic was recovered, the session discarded, and this request failed
+// typed instead of crashing the process or poisoning its neighbours.
+type SolveFault struct {
+	Matrix string
+	Panic  string
+}
+
+func (e *SolveFault) Error() string {
+	return fmt.Sprintf("daemon: %s solve fault: %s", e.Matrix, e.Panic)
+}

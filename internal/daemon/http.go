@@ -1,0 +1,151 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/sss-lab/blocksptrsv/internal/block"
+)
+
+// The HTTP surface: a thin JSON façade over Solve. Every daemon error
+// maps to a distinct status and machine-readable kind, so clients can
+// react mechanically — 429 + Retry-After means back off, 503 means the
+// process is going away, 504 means the deadline did its job.
+
+// maxSolveBody bounds a solve request body (16 MiB ≈ a 1M-row RHS as
+// JSON): the admission queue bounds memory per request, this bounds
+// memory per connection.
+const maxSolveBody = 16 << 20
+
+// SolveRequest is the body of POST /solve/{matrix}.
+type SolveRequest struct {
+	// B is the right-hand side; its length must equal the matrix's rows.
+	B []float64 `json:"b"`
+	// TimeoutMS overrides the daemon's default per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SolveResponse is the success body: the solution vector.
+type SolveResponse struct {
+	X []float64 `json:"x"`
+}
+
+// ErrorResponse is every non-2xx body. Kind is stable and mechanical:
+// overload, draining, unknown_matrix, dimension, deadline, canceled,
+// stall, residual, fault, bad_request, internal.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /solve/{matrix}  solve one RHS (JSON in/out, see SolveRequest)
+//	GET  /matrices        per-matrix service stats (JSON, see MatrixStats)
+//	GET  /healthz         200 while serving, 503 once draining
+//
+// Any other path falls through to Config.Obs when configured (the
+// observability mux: /metrics, /debug/pprof, ...) and 404s otherwise.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve/{matrix}", d.handleSolve)
+	mux.HandleFunc("GET /matrices", d.handleMatrices)
+	mux.HandleFunc("GET /healthz", d.handleHealth)
+	if d.cfg.Obs != nil {
+		mux.Handle("/", d.cfg.Obs)
+	}
+	return mux
+}
+
+func (d *Daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, maxSolveBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding solve request: %w", err))
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	x, err := d.Solve(ctx, r.PathValue("matrix"), req.B)
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{X: x})
+}
+
+func (d *Daemon) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Stats())
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if d.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// writeSolveError is the error taxonomy in one place: typed daemon and
+// solver errors become distinct statuses and kinds.
+func writeSolveError(w http.ResponseWriter, err error) {
+	var (
+		overload *OverloadError
+		dim      *DimensionError
+		fault    *SolveFault
+		stall    *block.StallError
+		residual *block.ResidualError
+	)
+	switch {
+	case errors.As(err, &overload):
+		// Retry-After is whole seconds by spec; round up so a hint of
+		// 2ms does not become "retry immediately".
+		secs := int64((overload.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeError(w, http.StatusTooManyRequests, "overload", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", err)
+	case errors.Is(err, ErrUnknownMatrix):
+		writeError(w, http.StatusNotFound, "unknown_matrix", err)
+	case errors.As(err, &dim):
+		writeError(w, http.StatusBadRequest, "dimension", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline", err)
+	case errors.Is(err, context.Canceled):
+		// The client usually went away; answer whoever is still there.
+		writeError(w, http.StatusRequestTimeout, "canceled", err)
+	case errors.As(err, &stall):
+		writeError(w, http.StatusServiceUnavailable, "stall", err)
+	case errors.As(err, &residual):
+		writeError(w, http.StatusInternalServerError, "residual", err)
+	case errors.As(err, &fault):
+		writeError(w, http.StatusInternalServerError, "fault", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure here means the client hung up mid-body; there is
+	// no one left to tell.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,189 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The load generator: closed-loop clients hammering one matrix of a
+// running daemon over HTTP, classifying every response by its typed
+// error kind and recording per-request latency. It is both the SLO
+// measurement tool (`sptrsvd -loadgen` folds its latencies into the
+// bench-report schema) and the smoke harness (`make daemon-smoke`
+// asserts coalescing happened and nothing errored).
+
+// LoadConfig sizes a load run.
+type LoadConfig struct {
+	// URL is the daemon's base URL, e.g. "http://127.0.0.1:8437".
+	URL string
+	// Matrix names the registered matrix to hammer.
+	Matrix string
+	// Concurrency is the number of closed-loop clients (default 8).
+	Concurrency int
+	// Duration is how long to keep submitting (default 2s).
+	Duration time.Duration
+	// TimeoutMS, when positive, is sent as each request's deadline.
+	TimeoutMS int
+	// Seed makes the right-hand sides reproducible.
+	Seed int64
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadResult is one run's outcome. Latencies holds every successful
+// request's wall time, sorted ascending, ready for percentile cuts;
+// Coalesce is the served matrix's mean RHS-per-batch over exactly this
+// run (computed from /matrices counter deltas, so a long-lived daemon's
+// history does not dilute it).
+type LoadResult struct {
+	Matrix    string
+	Rows      int
+	Requests  int64
+	OK        int64
+	Shed      int64 // 429: typed backpressure
+	Deadlined int64 // 504/408: the deadline machinery fired
+	Failed    int64 // anything else non-2xx, plus transport errors
+	Coalesce  float64
+	Elapsed   time.Duration
+	Latencies []time.Duration
+}
+
+// RunLoad runs the closed-loop load and classifies every response.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	before, err := fetchStats(client, cfg.URL, cfg.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadResult{Matrix: cfg.Matrix, Rows: before.Rows}
+
+	// Each client reuses one marshalled body: the RHS values do not
+	// change what the admission path exercises, only that it is loaded.
+	bodies := make([][]byte, cfg.Concurrency)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for c := range bodies {
+		b := make([]float64, before.Rows)
+		for i := range b {
+			b[i] = rng.Float64()*2 - 1
+		}
+		bodies[c], err = json.Marshal(SolveRequest{B: b, TimeoutMS: cfg.TimeoutMS})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+		wg   sync.WaitGroup
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	url := cfg.URL + "/solve/" + cfg.Matrix
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			var mine []time.Duration
+			var requests, ok, shed, deadlined, failed int64
+			for ctx.Err() == nil {
+				requests++
+				t0 := time.Now()
+				status, err := postSolve(ctx, client, url, body)
+				switch {
+				case err != nil:
+					// A transport error caused by the run ending is not a
+					// server failure; drop the in-flight request instead.
+					if ctx.Err() != nil {
+						requests--
+						continue
+					}
+					failed++
+				case status == http.StatusOK:
+					ok++
+					mine = append(mine, time.Since(t0))
+				case status == http.StatusTooManyRequests:
+					shed++
+				case status == http.StatusGatewayTimeout || status == http.StatusRequestTimeout:
+					deadlined++
+				default:
+					failed++
+				}
+			}
+			mu.Lock()
+			res.Requests += requests
+			res.OK += ok
+			res.Shed += shed
+			res.Deadlined += deadlined
+			res.Failed += failed
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(bodies[c])
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.Latencies = lats
+
+	after, err := fetchStats(client, cfg.URL, cfg.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	if db := after.Batches - before.Batches; db > 0 {
+		res.Coalesce = float64(after.Batched-before.Batched) / float64(db)
+	}
+	return res, nil
+}
+
+func postSolve(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reused; the solution itself is not
+	// checked here — correctness is the solver tests' job, load is ours.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func fetchStats(client *http.Client, baseURL, matrix string) (MatrixStats, error) {
+	resp, err := client.Get(baseURL + "/matrices")
+	if err != nil {
+		return MatrixStats{}, fmt.Errorf("loadgen: fetching /matrices: %w", err)
+	}
+	defer resp.Body.Close()
+	var all []MatrixStats
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return MatrixStats{}, fmt.Errorf("loadgen: decoding /matrices: %w", err)
+	}
+	for _, st := range all {
+		if st.Name == matrix {
+			return st, nil
+		}
+	}
+	return MatrixStats{}, fmt.Errorf("loadgen: %w: %q", ErrUnknownMatrix, matrix)
+}

@@ -1,0 +1,22 @@
+package daemon
+
+import "github.com/sss-lab/blocksptrsv/internal/metrics"
+
+// Process-wide daemon observability, resolved once at package init like
+// internal/block's counters. The queue-depth gauge is the overload
+// dashboard number: it rises toward the configured bound under
+// saturation and falls back as batches drain; daemon_shed_total ticking
+// while it sits at the bound is the signature of healthy backpressure.
+// Coalescing efficiency is daemon_batched_rhs_total / daemon_batches_total
+// — the mean right-hand sides amortised per solve.
+var (
+	mQueueDepth = metrics.Default.Gauge("daemon_queue_depth")
+	mRequests   = metrics.Default.Counter("daemon_requests")
+	mBatches    = metrics.Default.Counter("daemon_batches")
+	mBatchedRHS = metrics.Default.Counter("daemon_batched_rhs")
+	mShed       = metrics.Default.Counter("daemon_shed")
+	mExpired    = metrics.Default.Counter("daemon_expired")
+	mPanics     = metrics.Default.Counter("daemon_panics")
+	mErrors     = metrics.Default.Counter("daemon_solve_errors")
+	mWait       = metrics.Default.Histogram("daemon_wait_ns")
+)

@@ -121,6 +121,33 @@ func TestInjectedDelayIsBenign(t *testing.T) {
 	assertMatches(t, x, ref)
 }
 
+// TestArmSlowThrottles pins the queue-delay hook the daemon chaos suite
+// leans on: unarmed Slow is free, armed Slow sleeps on every call, and
+// Reset disarms it.
+func TestArmSlowThrottles(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Reset()
+	start := time.Now()
+	faultinject.Slow("daemon-solve")
+	faultinject.Slow("daemon-solve")
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("unarmed Slow took %v", d)
+	}
+	faultinject.ArmSlow("daemon-solve", 30*time.Millisecond)
+	start = time.Now()
+	faultinject.Slow("daemon-solve")
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("armed Slow returned after %v, want ~30ms", d)
+	}
+	faultinject.Slow("other-site") // arming one site leaves others free
+	faultinject.Reset()
+	start = time.Now()
+	faultinject.Slow("daemon-solve")
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("Slow survived Reset: %v", d)
+	}
+}
+
 func assertMatches(t *testing.T, x, ref []float64) {
 	t.Helper()
 	for i := range x {

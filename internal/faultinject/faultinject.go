@@ -11,10 +11,14 @@
 //
 // Sites used by the library:
 //
-//	"tri-block"  — PanicAt before solving triangular block k
-//	"sync-free"  — Delay at guarded sync-free worker start;
-//	               CorruptInDegree when re-arming dependency counters
-//	"solution"   — Poison applied to the permuted solution vector
+//	"tri-block"    — PanicAt before solving triangular block k (single-RHS
+//	                 and batched guarded paths)
+//	"sync-free"    — Delay at guarded sync-free worker start;
+//	                 CorruptInDegree when re-arming dependency counters
+//	"solution"     — Poison applied to the permuted solution vector
+//	"daemon-solve" — Slow before every daemon batch solve, throttling the
+//	                 service so its admission queue fills and overload
+//	                 shedding can be exercised
 //
 // The chaos suite (go test -tags faultinject ./internal/faultinject) arms
 // each hook and asserts the matching degradation path fires.

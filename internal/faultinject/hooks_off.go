@@ -13,6 +13,10 @@ func PanicAt(site string, k int) {}
 // Delay sleeps at the given worker of the site when armed. No-op.
 func Delay(site string, worker int) {}
 
+// Slow sleeps at the site on every call when armed — the queue-delay /
+// slow-solve hook. No-op.
+func Slow(site string) {}
+
 // CorruptInDegree returns an armed (row, delta) corruption for the site.
 func CorruptInDegree(site string) (row int, delta int32, ok bool) { return 0, 0, false }
 

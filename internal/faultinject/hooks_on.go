@@ -13,10 +13,11 @@ const Enabled = true
 
 var (
 	mu       sync.Mutex
-	panics   = map[string]int{}         // site -> k
-	delays   = map[string]delaySpec{}   // site -> worker+duration
-	corrupts = map[string]corruptSpec{} // site -> row+delta
-	poisons  = map[string]poisonSpec{}  // site -> row+value
+	panics   = map[string]int{}           // site -> k
+	delays   = map[string]delaySpec{}     // site -> worker+duration
+	slows    = map[string]time.Duration{} // site -> duration, every call
+	corrupts = map[string]corruptSpec{}   // site -> row+delta
+	poisons  = map[string]poisonSpec{}    // site -> row+value
 )
 
 type delaySpec struct {
@@ -40,6 +41,7 @@ func Reset() {
 	defer mu.Unlock()
 	panics = map[string]int{}
 	delays = map[string]delaySpec{}
+	slows = map[string]time.Duration{}
 	corrupts = map[string]corruptSpec{}
 	poisons = map[string]poisonSpec{}
 }
@@ -89,6 +91,27 @@ func Delay(site string, worker int) {
 	mu.Unlock()
 	if ok && spec.worker == worker {
 		time.Sleep(spec.d)
+	}
+}
+
+// ArmSlow makes every Slow(site) call sleep for d — the queue-delay /
+// slow-solve hook: unlike Delay, which targets one worker of one launch,
+// Slow throttles a whole processing stage so admission queues upstream of
+// it fill and overload handling can be exercised.
+func ArmSlow(site string, d time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	slows[site] = d
+}
+
+// Slow sleeps when the site is armed. Every call sleeps, so a pipeline
+// stage that passes through Slow is throttled to at most 1/d per call.
+func Slow(site string) {
+	mu.Lock()
+	d, ok := slows[site]
+	mu.Unlock()
+	if ok {
+		time.Sleep(d)
 	}
 }
 

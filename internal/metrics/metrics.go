@@ -1,7 +1,7 @@
 // Package metrics is the library's process-wide observability registry:
-// named monotonic counters and log-bucketed latency histograms, cheap
-// enough to sit on the solve path (one atomic add per event, no
-// allocation, no locks after the handle is resolved).
+// named monotonic counters, up-down gauges and log-bucketed latency
+// histograms, cheap enough to sit on the solve path (one atomic add per
+// event, no allocation, no locks after the handle is resolved).
 //
 // The Default registry is published to expvar under the key "blocksptrsv",
 // so any process that mounts expvar's HTTP handler (or calls expvar.Do)
@@ -47,6 +47,25 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 // String renders the count (expvar.Var).
 func (c *Counter) String() string { return strconv.FormatInt(c.v.Load(), 10) }
+
+// Gauge is an instantaneous level — a value that goes up and down, like a
+// queue depth or the number of in-flight requests. The zero value is ready
+// to use. It implements expvar.Var.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the current level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// String renders the level (expvar.Var).
+func (g *Gauge) String() string { return strconv.FormatInt(g.v.Load(), 10) }
 
 // histBuckets is the number of power-of-two duration buckets: bucket i
 // holds observations with 2^i <= ns < 2^(i+1), except bucket 0 which also
@@ -158,6 +177,7 @@ func (h *Histogram) String() string {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -165,6 +185,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -179,6 +200,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -201,6 +234,9 @@ func (r *Registry) Reset() {
 	for _, c := range r.counters {
 		c.v.Store(0)
 	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
 	for _, h := range r.hists {
 		h.count.Store(0)
 		h.sum.Store(0)
@@ -210,14 +246,17 @@ func (r *Registry) Reset() {
 	}
 }
 
-// Names returns the metric names in sorted order, counters then
-// histograms, with no duplicates between the two maps (a name is one or
-// the other).
+// Names returns the metric names in sorted order, with no duplicates
+// between the maps (a name is a counter, a gauge or a histogram, never
+// two of them).
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	for n := range r.hists {
@@ -240,9 +279,12 @@ func (r *Registry) String() string {
 		}
 		r.mu.Lock()
 		var v expvar.Var
-		if c, ok := r.counters[n]; ok {
-			v = c
-		} else {
+		switch {
+		case r.counters[n] != nil:
+			v = r.counters[n]
+		case r.gauges[n] != nil:
+			v = r.gauges[n]
+		default:
 			v = r.hists[n]
 		}
 		r.mu.Unlock()

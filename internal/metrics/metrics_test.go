@@ -24,6 +24,26 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge after Set = %d, want -7", got)
+	}
+	if r.Gauge("depth") != g {
+		t.Fatal("Gauge not stable across lookups")
+	}
+	if g.String() != "-7" {
+		t.Fatalf("String() = %q", g.String())
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	var h Histogram
 	h.Observe(0)
@@ -138,13 +158,14 @@ func TestRegistryJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b_counter").Add(2)
 	r.Counter("a_counter").Inc()
+	r.Gauge("d_gauge").Set(5)
 	r.Histogram("c_hist").Observe(50 * time.Nanosecond)
 	r.Histogram("empty_hist")
 	var m map[string]any
 	if err := json.Unmarshal([]byte(r.String()), &m); err != nil {
 		t.Fatalf("registry JSON invalid: %v\n%s", err, r.String())
 	}
-	for _, k := range []string{"a_counter", "b_counter", "c_hist", "empty_hist"} {
+	for _, k := range []string{"a_counter", "b_counter", "c_hist", "d_gauge", "empty_hist"} {
 		if _, ok := m[k]; !ok {
 			t.Fatalf("registry JSON missing %q: %s", k, r.String())
 		}
@@ -157,12 +178,14 @@ func TestRegistryJSON(t *testing.T) {
 func TestReset(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("c")
+	g := r.Gauge("g")
 	h := r.Histogram("h")
 	c.Add(7)
+	g.Set(9)
 	h.Observe(time.Microsecond)
 	r.Reset()
-	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
-		t.Fatalf("Reset left c=%d h.count=%d h.sum=%v", c.Value(), h.Count(), h.Sum())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left c=%d g=%d h.count=%d h.sum=%v", c.Value(), g.Value(), h.Count(), h.Sum())
 	}
 	if h.String() != `{"count":0,"sum_ns":0}` {
 		t.Fatalf("empty histogram String = %s", h.String())

@@ -2,7 +2,8 @@ package metrics
 
 // Prometheus text-format exposition for the registry, stdlib-only. The
 // expvar publication (metrics.go) serves ad-hoc inspection; this file
-// serves scrapers: every counter becomes a `_total` counter, every log₂-ns
+// serves scrapers: every counter becomes a `_total` counter, every gauge a
+// plain gauge sample, every log₂-ns
 // histogram becomes a classic Prometheus histogram in seconds (cumulative
 // `_bucket{le=...}` samples derived from the power-of-two buckets, `_sum`,
 // `_count`) plus extracted quantile gauges, so dashboards get p50/p90/p99
@@ -102,6 +103,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for n := range r.counters {
 		counterNames = append(counterNames, n)
 	}
+	gaugeNames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gaugeNames = append(gaugeNames, n)
+	}
 	histNames := make([]string, 0, len(r.hists))
 	for n := range r.hists {
 		histNames = append(histNames, n)
@@ -110,12 +115,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for n, c := range r.counters {
 		counters[n] = c
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for n, h := range r.hists {
 		hists[n] = h
 	}
 	r.mu.Unlock()
 	sort.Strings(counterNames)
+	sort.Strings(gaugeNames)
 	sort.Strings(histNames)
 
 	var b strings.Builder
@@ -124,6 +134,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "# HELP %s Monotonic event counter %q of the blocksptrsv registry.\n", name, escapeHelp(n))
 		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
 		fmt.Fprintf(&b, "%s %d\n", name, counters[n].Value())
+	}
+	for _, n := range gaugeNames {
+		name := namePrefix + sanitizeMetricName(n)
+		fmt.Fprintf(&b, "# HELP %s Instantaneous level gauge %q of the blocksptrsv registry.\n", name, escapeHelp(n))
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(&b, "%s %d\n", name, gauges[n].Value())
 	}
 	for _, n := range histNames {
 		writePrometheusHistogram(&b, n, hists[n])

@@ -14,6 +14,7 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("solves").Add(3)
 	r.Counter("guard_trips")
+	r.Gauge("queue_depth").Set(4)
 	h := r.Histogram("solve_ns")
 	h.Observe(100 * time.Nanosecond)  // bucket 6: [64,128)
 	h.Observe(100 * time.Nanosecond)  // bucket 6
@@ -30,6 +31,9 @@ func TestWritePrometheusGolden(t *testing.T) {
 		`# HELP blocksptrsv_solves_total Monotonic event counter "solves" of the blocksptrsv registry.`,
 		`# TYPE blocksptrsv_solves_total counter`,
 		`blocksptrsv_solves_total 3`,
+		`# HELP blocksptrsv_queue_depth Instantaneous level gauge "queue_depth" of the blocksptrsv registry.`,
+		`# TYPE blocksptrsv_queue_depth gauge`,
+		`blocksptrsv_queue_depth 4`,
 		`# HELP blocksptrsv_solve_seconds Log2-bucketed latency histogram "solve_ns" of the blocksptrsv registry, in seconds.`,
 		`# TYPE blocksptrsv_solve_seconds histogram`,
 		`blocksptrsv_solve_seconds_bucket{le="2e-09"} 0`,

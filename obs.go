@@ -37,6 +37,11 @@ type ObsOptions struct {
 	// /trace. Attach the same recorder to the solver with SetTrace (or
 	// Options.Trace) to see live solves.
 	Trace *TraceRecorder
+	// Index lists extra endpoints the host serves around this handler
+	// (e.g. a daemon's /solve/{matrix}), advertised verbatim on the
+	// index page so `curl /` still enumerates the whole surface when
+	// the ObsHandler is mounted as a fallback mux.
+	Index []string
 }
 
 // ObsHandler returns an http.Handler exposing the library's observability
@@ -64,6 +69,9 @@ func ObsHandler(o ObsOptions) http.Handler {
 		fmt.Fprintln(w, "  /debug/pprof/   pprof profiles")
 		fmt.Fprintln(w, "  /explain        execution plan (if configured)")
 		fmt.Fprintln(w, "  /trace          Chrome trace JSON of recent solves (if configured; ?format=table|summary)")
+		for _, line := range o.Index {
+			fmt.Fprintln(w, "  "+line)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
