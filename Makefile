@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint bcecheck fuzz-short daemon-smoke
+.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint bcecheck fuzz-short daemon-smoke cachecheck startup
 
-ci: vet build test race chaos daemon-smoke perfgate lint bcecheck fuzz-short
+ci: vet build test race chaos daemon-smoke perfgate lint bcecheck fuzz-short cachecheck
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +24,8 @@ test:
 
 race:
 	$(GO) test -race . ./internal/exec ./internal/kernels ./internal/block \
-		./internal/core ./internal/metrics ./internal/bench ./internal/daemon
+		./internal/core ./internal/metrics ./internal/bench ./internal/daemon \
+		./internal/plancache
 
 # Project-specific static analyzers (DESIGN.md §6.8): hot-path allocation
 # discipline, atomic-field access, spin-loop guards, wall-clock placement,
@@ -52,6 +53,7 @@ fuzz-short:
 	$(GO) test -run - -fuzz FuzzReadMatrixMarket -fuzztime $(FUZZTIME) ./internal/sparse
 	$(GO) test -run - -fuzz FuzzParseWant -fuzztime $(FUZZTIME) ./internal/lint
 	$(GO) test -run - -fuzz FuzzKernelEquivalence -fuzztime $(FUZZTIME) ./internal/kernels
+	$(GO) test -run - -fuzz FuzzPlanRoundTrip -fuzztime $(FUZZTIME) ./internal/block
 
 # Fault-injection chaos suite: hooks compiled in under the faultinject tag
 # drive panics, in-degree corruption, solution poisoning and worker delays
@@ -63,18 +65,23 @@ chaos:
 # Coverage gate for the solver core and the execution substrate. Floors
 # sit ~10 points below the measured coverage so refactors have headroom
 # while untested new subsystems still fail the gate.
-COVER_FLOOR_BLOCK ?= 80
-COVER_FLOOR_EXEC  ?= 60
+COVER_FLOOR_BLOCK     ?= 80
+COVER_FLOOR_EXEC      ?= 60
+COVER_FLOOR_PLANCACHE ?= 80
 
 cover:
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-block.out ./internal/block
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-exec.out ./internal/exec
+	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-plancache.out ./internal/plancache
 	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-block.out | awk '$$1=="total:" \
 		{ pct=$$3; sub(/%/,"",pct); printf "internal/block coverage: %s (floor $(COVER_FLOOR_BLOCK)%%)\n", $$3; \
 		  if (pct+0 < $(COVER_FLOOR_BLOCK)) exit 1 }'
 	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-exec.out | awk '$$1=="total:" \
 		{ pct=$$3; sub(/%/,"",pct); printf "internal/exec coverage: %s (floor $(COVER_FLOOR_EXEC)%%)\n", $$3; \
 		  if (pct+0 < $(COVER_FLOOR_EXEC)) exit 1 }'
+	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-plancache.out | awk '$$1=="total:" \
+		{ pct=$$3; sub(/%/,"",pct); printf "internal/plancache coverage: %s (floor $(COVER_FLOOR_PLANCACHE)%%)\n", $$3; \
+		  if (pct+0 < $(COVER_FLOOR_PLANCACHE)) exit 1 }'
 
 # Machine-readable perf trajectory (DESIGN.md §6.7). bench-json runs the
 # full canonical suite and refreshes the committed baseline; run it on a
@@ -95,9 +102,28 @@ bench-json:
 	$(GO) run ./cmd/sptrsvbench -suite -scale $(BENCH_SCALE) -repeats 9 -warmup 2 \
 		-json $(BENCH_BASELINE)
 
-perfgate:
+perfgate: startup
 	$(GO) run ./cmd/sptrsvbench -suite -short -scale $(BENCH_SCALE) -repeats 3 -warmup 1 \
 		-baseline $(BENCH_BASELINE) -gate $(PERFGATE_PCT) -json /tmp/blocksptrsv-perfgate.json
+
+# Cold vs warm startup (DESIGN.md §6.11): cold Preprocess analysis vs a
+# warm plan-cache load over the short suite corpus. Informational — the
+# per-matrix warm-speedup target (5x) is reported, not enforced, because
+# the ratio is machine- and scale-dependent; pass
+# `-min-warm-speedup <x>` via cmd/sptrsvbench to make it a hard gate.
+startup:
+	$(GO) run ./cmd/sptrsvbench -startup -short -scale $(BENCH_SCALE) -repeats 3
+
+# Corpus regeneration check: the committed pregenerated suite matrices
+# under internal/bench/testdata/corpus must be byte-identical to what the
+# fixed-seed generators produce. Guards both directions: a generator
+# change without `matgen -emit-binary`, and a corpus edit by hand.
+cachecheck:
+	@tmp=$$(mktemp -d /tmp/blocksptrsv-cachecheck-XXXXXX); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/matgen -emit-binary -dir "$$tmp" >/dev/null && \
+	diff -r internal/bench/testdata/corpus "$$tmp" && \
+	echo "cachecheck: corpus regeneration is byte-identical"
 
 # Daemon smoke (part of `make ci`): an in-process one-worker sptrsvd
 # under a 2s concurrent burst must coalesce requests into multi-RHS

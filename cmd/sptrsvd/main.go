@@ -46,6 +46,7 @@ import (
 	"github.com/sss-lab/blocksptrsv/internal/bench"
 	"github.com/sss-lab/blocksptrsv/internal/daemon"
 	"github.com/sss-lab/blocksptrsv/internal/gen"
+	"github.com/sss-lab/blocksptrsv/internal/plancache"
 )
 
 type matrixSpec struct{ name, spec string }
@@ -69,6 +70,7 @@ func main() {
 		window       = flag.Duration("window", 200*time.Microsecond, "serve: how long a batch is held open for more arrivals")
 		timeout      = flag.Duration("timeout", 5*time.Second, "serve: default per-request deadline when the client sends none")
 		drain        = flag.Duration("drain", 30*time.Second, "serve: shutdown drain budget")
+		cacheDir     = flag.String("cache-dir", "", "serve/smoke: plan-cache directory; a restart with the same matrices loads serialized analysis instead of redoing it")
 
 		loadgen   = flag.Bool("loadgen", false, "load-generator mode: hammer a running daemon and report latency percentiles")
 		url       = flag.String("url", "http://127.0.0.1:8437", "loadgen: daemon base URL")
@@ -85,7 +87,7 @@ func main() {
 
 	switch {
 	case *smoke:
-		fatalIf(runSmoke(*conc, *dur))
+		fatalIf(runSmoke(*conc, *dur, *cacheDir))
 	case *loadgen:
 		if *name == "" {
 			fmt.Fprintln(os.Stderr, "sptrsvd: -loadgen needs -name <matrix>")
@@ -97,7 +99,7 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		fatalIf(runServe(specs, *listen, *solveWorkers, *workers, *queue, *maxBatch, *window, *timeout, *drain))
+		fatalIf(runServe(specs, *listen, *cacheDir, *solveWorkers, *workers, *queue, *maxBatch, *window, *timeout, *drain))
 	}
 }
 
@@ -142,13 +144,18 @@ func buildMatrix(spec string) (*sptrsv.Matrix[float64], error) {
 	}
 }
 
-func runServe(specs []matrixSpec, listen string, solveWorkers, workers, queue, maxBatch int, window, timeout, drain time.Duration) error {
+func runServe(specs []matrixSpec, listen, cacheDir string, solveWorkers, workers, queue, maxBatch int, window, timeout, drain time.Duration) error {
+	cache, err := openPlanCache(cacheDir)
+	if err != nil {
+		return err
+	}
 	d := daemon.New(daemon.Config{
 		MaxQueue:       queue,
 		MaxBatch:       maxBatch,
 		Window:         window,
 		Workers:        solveWorkers,
 		DefaultTimeout: timeout,
+		PlanCache:      cache,
 		Obs: sptrsv.ObsHandler(sptrsv.ObsOptions{Index: []string{
 			"POST /solve/{matrix}   solve one RHS (JSON)",
 			"/matrices       per-matrix service stats (JSON)",
@@ -241,14 +248,19 @@ func printLoad(res *daemon.LoadResult, lr bench.LatencyResult) {
 // runSmoke is the CI gate: a one-worker in-process daemon must coalesce
 // a concurrent burst (factor > 1) and answer every request without a
 // single error response, then drain cleanly.
-func runSmoke(conc int, dur time.Duration) error {
+func runSmoke(conc int, dur time.Duration, cacheDir string) error {
+	cache, err := openPlanCache(cacheDir)
+	if err != nil {
+		return err
+	}
 	l := gen.GridLaplacian5(100, 100, 1)
 	d := daemon.New(daemon.Config{
-		Workers:  1, // one worker makes a concurrent burst queue, hence coalesce
-		MaxQueue: 1024,
-		MaxBatch: 32,
-		Window:   500 * time.Microsecond,
-		Obs:      sptrsv.ObsHandler(sptrsv.ObsOptions{}),
+		Workers:   1, // one worker makes a concurrent burst queue, hence coalesce
+		MaxQueue:  1024,
+		MaxBatch:  32,
+		Window:    500 * time.Microsecond,
+		Obs:       sptrsv.ObsHandler(sptrsv.ObsOptions{}),
+		PlanCache: cache,
 	})
 	if err := d.AddMatrix("smoke", l, sptrsv.DefaultOptions(0)); err != nil {
 		return err
@@ -292,6 +304,19 @@ func runSmoke(conc int, dur time.Duration) error {
 	}
 	fmt.Println("daemon smoke OK")
 	return nil
+}
+
+// openPlanCache opens the on-disk plan cache when a directory was
+// given; an empty flag means no caching, which is the zero value here.
+func openPlanCache(dir string) (*plancache.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	c, err := plancache.Open(plancache.Config{Dir: dir})
+	if err != nil {
+		return nil, fmt.Errorf("plan cache %s: %w", dir, err)
+	}
+	return c, nil
 }
 
 func fatalIf(err error) {

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"math"
+
+	"github.com/sss-lab/blocksptrsv/internal/gen"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// The pregenerated suite corpus, compiled into the binary. Suite and
+// startup runs at the default scale decode these matrices (a few
+// milliseconds) instead of regenerating them (seconds of RNG and
+// assembly) — the benchmark's own cold-start tax, removed the same way
+// the plan cache removes the solver's. `matgen -emit-binary` rebuilds
+// the directory deterministically; `make cachecheck` verifies the
+// committed bytes match what the generators produce.
+//
+//go:embed testdata/corpus
+var corpusFS embed.FS
+
+// loadCorpusMatrix decodes a pregenerated suite matrix from the embedded
+// corpus. ok is false when the entry is not in the corpus; a corrupted
+// embedded file is a build defect, not a runtime condition, so decode
+// errors panic.
+func loadCorpusMatrix(name string) (*sparse.CSR[float64], bool) {
+	data, err := corpusFS.ReadFile("testdata/corpus/" + name + ".bsm")
+	if err != nil {
+		return nil, false
+	}
+	m, err := sparse.ReadBinary[float64](bytes.NewReader(data))
+	if err != nil {
+		panic(fmt.Sprintf("bench: embedded corpus entry %s is corrupt: %v", name, err))
+	}
+	return m, true
+}
+
+// suiteEntries returns the suite corpus with the pregenerated fast path:
+// at the corpus scale each entry decodes the embedded matrix, falling
+// back to its generator if the entry is missing; at any other scale the
+// generators run as before.
+func suiteEntries(scale float64, short bool) []gen.Entry {
+	entries := rawSuiteEntries(scale, short)
+	if math.Abs(scale-CorpusScale) > 1e-12 {
+		return entries
+	}
+	out := make([]gen.Entry, len(entries))
+	for i, e := range entries {
+		e := e
+		out[i] = gen.Entry{Name: e.Name, Group: e.Group, Build: func() *sparse.CSR[float64] {
+			if m, ok := loadCorpusMatrix(e.Name); ok {
+				return m
+			}
+			return e.Build()
+		}}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/sss-lab/blocksptrsv/internal/gen"
+	"github.com/sss-lab/blocksptrsv/internal/sparse"
+)
+
+// CorpusScale is the scale the committed suite corpus is generated at —
+// the default suite scale, so the common `make bench` / `make perfgate`
+// runs load the pregenerated matrices instead of regenerating them.
+const CorpusScale = 0.1
+
+// CorpusEntries returns the raw suite generators at the given scale, in
+// report order. These always generate from the fixed seeds — they are
+// what `matgen -emit-binary` serialises and what the corpus-regeneration
+// check rebuilds, so they must never themselves read the corpus.
+func CorpusEntries(scale float64) []gen.Entry {
+	return rawSuiteEntries(scale, false)
+}
+
+// WriteCorpus generates every suite matrix at CorpusScale and writes it
+// to dir as <name>.bsm in the deterministic binary container. Running it
+// twice produces byte-identical files — the property `make cachecheck`
+// holds the committed corpus to.
+func WriteCorpus(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range CorpusEntries(CorpusScale) {
+		if err := writeCorpusEntry(dir, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCorpusEntry(dir string, e gen.Entry) error {
+	m := e.Build()
+	path := filepath.Join(dir, e.Name+".bsm")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sparse.WriteBinary(f, m); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus %s: %w", e.Name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("corpus %s: %w", e.Name, err)
+	}
+	return nil
+}

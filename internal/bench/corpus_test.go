@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func corpusFileBytes(dir, name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, name+".bsm"))
+}
+
+// TestCorpusMatchesGenerators holds the committed corpus to its
+// contract: every suite entry at the corpus scale is embedded, and the
+// embedded matrix is exactly — structure and bits — what the fixed-seed
+// generator produces. This is the in-process half of `make cachecheck`.
+func TestCorpusMatchesGenerators(t *testing.T) {
+	entries := CorpusEntries(CorpusScale)
+	if len(entries) == 0 {
+		t.Fatal("empty corpus entry list")
+	}
+	for _, e := range entries {
+		want := e.Build()
+		got, ok := loadCorpusMatrix(e.Name)
+		if !ok {
+			t.Errorf("%s: not in the embedded corpus — rerun matgen -emit-binary", e.Name)
+			continue
+		}
+		if got.Rows != want.Rows || got.Cols != want.Cols || got.NNZ() != want.NNZ() {
+			t.Errorf("%s: shape %dx%d/%d, generator says %dx%d/%d",
+				e.Name, got.Rows, got.Cols, got.NNZ(), want.Rows, want.Cols, want.NNZ())
+			continue
+		}
+		for i := range want.RowPtr {
+			if got.RowPtr[i] != want.RowPtr[i] {
+				t.Errorf("%s: rowPtr[%d] differs", e.Name, i)
+				break
+			}
+		}
+		for p := range want.ColIdx {
+			if got.ColIdx[p] != want.ColIdx[p] || math.Float64bits(got.Val[p]) != math.Float64bits(want.Val[p]) {
+				t.Errorf("%s: entry %d differs", e.Name, p)
+				break
+			}
+		}
+	}
+}
+
+// TestSuiteEntriesScaleGate: the corpus fast path only engages at the
+// corpus scale; any other scale must hand back the live generators.
+func TestSuiteEntriesScaleGate(t *testing.T) {
+	atCorpus := suiteEntries(CorpusScale, true)
+	offCorpus := suiteEntries(CorpusScale*2, true)
+	if len(atCorpus) == 0 || len(offCorpus) == 0 {
+		t.Fatal("empty suite entries")
+	}
+	a := atCorpus[0].Build()
+	b := offCorpus[0].Build()
+	if a.Rows == b.Rows {
+		t.Fatalf("doubling the scale did not change %s: %d rows both ways", atCorpus[0].Name, a.Rows)
+	}
+}
+
+func TestWriteCorpusDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the whole corpus twice")
+	}
+	d1, d2 := t.TempDir(), t.TempDir()
+	if err := WriteCorpus(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCorpus(d2); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range CorpusEntries(CorpusScale) {
+		b1, err := corpusFileBytes(d1, e.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := corpusFileBytes(d2, e.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: two generations differ", e.Name)
+		}
+	}
+}

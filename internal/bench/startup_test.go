@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunStartupSmoke runs the cold/warm suite end to end at the corpus
+// scale (short mode) and checks the report's invariants: every matrix
+// measured both ways, positive timings, and the envelope round-trips
+// through the versioned JSON schema.
+func TestRunStartupSmoke(t *testing.T) {
+	rep, err := RunStartup(StartupConfig{Repeats: 2, Short: true, Workers: 2, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suite != StartupSuiteName || rep.Schema != ReportSchemaVersion {
+		t.Fatalf("envelope: suite %q schema %d", rep.Suite, rep.Schema)
+	}
+	if len(rep.Startup) == 0 {
+		t.Fatal("no startup results")
+	}
+	for _, r := range rep.Startup {
+		if r.ColdNs <= 0 || r.WarmNs <= 0 || r.Speedup <= 0 {
+			t.Fatalf("%s: degenerate measurement %+v", r.Matrix, r)
+		}
+		if r.N <= 0 || r.NNZ <= 0 || r.Repeats != 2 {
+			t.Fatalf("%s: bad metadata %+v", r.Matrix, r)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Startup) != len(rep.Startup) || back.Suite != StartupSuiteName {
+		t.Fatalf("startup section lost in the round trip: %d vs %d", len(back.Startup), len(rep.Startup))
+	}
+
+	var table strings.Builder
+	rep.WriteStartupTable(&table)
+	for _, r := range rep.Startup {
+		if !strings.Contains(table.String(), r.Matrix) {
+			t.Fatalf("table missing %s:\n%s", r.Matrix, table.String())
+		}
+	}
+}
+
+func TestStartupGate(t *testing.T) {
+	rep := &BenchReport{Startup: []StartupResult{
+		{Matrix: "fast", Speedup: 9.0},
+		{Matrix: "slow", Speedup: 1.5},
+	}}
+	slow := StartupGate(rep, 5.0)
+	if len(slow) != 1 || !strings.Contains(slow[0], "slow") {
+		t.Fatalf("gate: %v", slow)
+	}
+	if got := StartupGate(rep, 1.0); got != nil {
+		t.Fatalf("everything above target still flagged: %v", got)
+	}
+}

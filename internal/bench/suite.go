@@ -40,8 +40,10 @@ import (
 // ReportSchemaVersion is the BenchReport JSON schema version. Bump it on
 // any incompatible change; DecodeReport refuses reports it cannot read.
 // History: v1 = throughput results only; v2 (additive) = optional
-// "latency" section with service percentiles, so v1 reports still decode.
-const ReportSchemaVersion = 2
+// "latency" section with service percentiles; v3 (additive) = optional
+// "startup" section with cold-analysis vs warm-plan-load medians. Every
+// bump has been additive, so v1 reports still decode.
+const ReportSchemaVersion = 3
 
 // oldestReadableSchema is the floor of DecodeReport's compatibility
 // window: every bump since it has been additive.
@@ -103,6 +105,9 @@ type BenchReport struct {
 	// Latency holds service-latency percentiles (schema ≥ 2, suite
 	// LoadSuiteName); empty in throughput reports.
 	Latency []LatencyResult `json:"latency,omitempty"`
+	// Startup holds cold-vs-warm preprocessing medians (schema ≥ 3,
+	// suite StartupSuiteName); empty elsewhere.
+	Startup []StartupResult `json:"startup,omitempty"`
 }
 
 // SuiteConfig sizes a suite run. The zero value is not usable; start from
@@ -144,11 +149,13 @@ func (c SuiteConfig) withDefaults() SuiteConfig {
 	return c
 }
 
-// suiteEntries is the fixed-seed suite corpus: one representative per
+// rawSuiteEntries is the fixed-seed suite corpus: one representative per
 // structural class of the paper's dataset (§4.1), seeds disjoint from the
 // figure corpus so suite timings are stable even if Corpus evolves. Order
 // and names are part of the report schema — gate keys are matrix names.
-func suiteEntries(scale float64, short bool) []gen.Entry {
+// These entries always *generate*; suiteEntries wraps them with the
+// pregenerated-corpus fast path (corpus.go).
+func rawSuiteEntries(scale float64, short bool) []gen.Entry {
 	sc := func(n int) int {
 		s := int(float64(n) * scale)
 		if s < 16 {
@@ -367,8 +374,8 @@ func DecodeReport(r io.Reader) (*BenchReport, error) {
 	if rep.Schema < oldestReadableSchema || rep.Schema > ReportSchemaVersion {
 		return nil, fmt.Errorf("bench report: schema %d, this build reads %d..%d", rep.Schema, oldestReadableSchema, ReportSchemaVersion)
 	}
-	if rep.Suite != reportSuiteName && rep.Suite != LoadSuiteName {
-		return nil, fmt.Errorf("bench report: suite %q, want %q or %q", rep.Suite, reportSuiteName, LoadSuiteName)
+	if rep.Suite != reportSuiteName && rep.Suite != LoadSuiteName && rep.Suite != StartupSuiteName {
+		return nil, fmt.Errorf("bench report: suite %q, want %q, %q or %q", rep.Suite, reportSuiteName, LoadSuiteName, StartupSuiteName)
 	}
 	return &rep, nil
 }

@@ -13,6 +13,7 @@ import (
 // that read the clock.
 var (
 	mSolves      = metrics.Default.Counter("solves")
+	mAnalyzes    = metrics.Default.Counter("analyzes")
 	mSolveTime   = metrics.Default.Histogram("solve_ns")
 	mRefinements = metrics.Default.Counter("refinements")
 	mFallbacks   = metrics.Default.Counter("fallbacks")

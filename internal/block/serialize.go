@@ -56,39 +56,68 @@ func (sw *serialWriter) bytes(p []byte) {
 	_, sw.err = sw.w.Write(p)
 }
 
+// chunk is the scratch size of the bulk array codecs: arrays are staged
+// through a buffer this large so the element loops run over memory and
+// the writer/reader/CRC see few large calls instead of one call per
+// element. The byte stream is identical to the per-element encoding.
+const serialChunk = 4096
+
+func (sw *serialWriter) bulk(n int, put func(buf []byte, i int)) {
+	if sw.err != nil {
+		return
+	}
+	var buf [serialChunk * 8]byte
+	for base := 0; base < n; base += serialChunk {
+		cnt := n - base
+		if cnt > serialChunk {
+			cnt = serialChunk
+		}
+		for i := 0; i < cnt; i++ {
+			put(buf[i*8:], base+i)
+		}
+		if _, sw.err = sw.w.Write(buf[:cnt*8]); sw.err != nil {
+			return
+		}
+	}
+}
+
 func (sw *serialWriter) ints(v []int) {
 	sw.i(len(v))
-	for _, x := range v {
-		sw.i(x)
-	}
+	sw.bulk(len(v), func(buf []byte, i int) {
+		binary.LittleEndian.PutUint64(buf, uint64(int64(v[i])))
+	})
 }
 
 func (sw *serialWriter) bools(v []bool) {
 	sw.i(len(v))
-	for _, x := range v {
-		sw.b(x)
-	}
+	sw.bulk(len(v), func(buf []byte, i int) {
+		var x uint64
+		if v[i] {
+			x = 1
+		}
+		binary.LittleEndian.PutUint64(buf, x)
+	})
 }
 
 func (sw *serialWriter) int32s(v []int32) {
 	sw.i(len(v))
-	for _, x := range v {
-		sw.u64(uint64(uint32(x)))
-	}
+	sw.bulk(len(v), func(buf []byte, i int) {
+		binary.LittleEndian.PutUint64(buf, uint64(uint32(v[i])))
+	})
 }
 
 func floats[T sparse.Float](sw *serialWriter, v []T) {
 	sw.i(len(v))
 	var probe T
 	if probeIs64(probe) {
-		for _, x := range v {
-			sw.u64(math.Float64bits(float64(x)))
-		}
+		sw.bulk(len(v), func(buf []byte, i int) {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(v[i])))
+		})
 		return
 	}
-	for _, x := range v {
-		sw.u64(uint64(math.Float32bits(float32(x))))
-	}
+	sw.bulk(len(v), func(buf []byte, i int) {
+		binary.LittleEndian.PutUint64(buf, uint64(math.Float32bits(float32(v[i]))))
+	})
 }
 
 func probeIs64[T sparse.Float](probe T) bool {
@@ -97,8 +126,15 @@ func probeIs64[T sparse.Float](probe T) bool {
 	return T(1)/T(3) != T(float32(1)/float32(3))
 }
 
+// serialReader decodes the solver stream from either an io.Reader
+// (general case) or an in-memory buffer (the plan-cache hit path, where
+// the whole payload is already resident). Buffer mode is zero-copy: the
+// array decoders read the payload bytes in place instead of staging
+// them through a scratch chunk.
 type serialReader struct {
-	r   *bufio.Reader
+	r   *bufio.Reader // stream mode; nil in buffer mode
+	buf []byte        // buffer mode; nil in stream mode
+	off int
 	crc uint32
 	err error
 }
@@ -108,11 +144,64 @@ func (sr *serialReader) read(p []byte) {
 	if sr.err != nil {
 		return
 	}
+	if sr.buf != nil {
+		if sr.off+len(p) > len(sr.buf) {
+			sr.err = io.ErrUnexpectedEOF
+			return
+		}
+		copy(p, sr.buf[sr.off:])
+		sr.off += len(p)
+		sr.crc = crc32.Update(sr.crc, crc32.IEEETable, p)
+		return
+	}
 	if _, err := io.ReadFull(sr.r, p); err != nil {
 		sr.err = err
 		return
 	}
 	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, p)
+}
+
+// view returns the next n bytes: a window into the payload in buffer
+// mode (no copy), a fill of scratch in stream mode. The bytes are folded
+// into the running CRC either way; the returned slice is only valid
+// until the next read or view.
+func (sr *serialReader) view(n int, scratch []byte) []byte {
+	if sr.err != nil {
+		return nil
+	}
+	if sr.buf != nil {
+		if sr.off+n > len(sr.buf) {
+			sr.err = io.ErrUnexpectedEOF
+			return nil
+		}
+		p := sr.buf[sr.off : sr.off+n]
+		sr.off += n
+		sr.crc = crc32.Update(sr.crc, crc32.IEEETable, p)
+		return p
+	}
+	p := scratch[:n]
+	if _, err := io.ReadFull(sr.r, p); err != nil {
+		sr.err = err
+		return nil
+	}
+	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, p)
+	return p
+}
+
+// trailer8 reads the 8-byte CRC trailer, which is outside the
+// checksummed region.
+func (sr *serialReader) trailer8() ([8]byte, error) {
+	var t [8]byte
+	if sr.buf != nil {
+		if sr.off+8 > len(sr.buf) {
+			return t, io.ErrUnexpectedEOF
+		}
+		copy(t[:], sr.buf[sr.off:])
+		sr.off += 8
+		return t, nil
+	}
+	_, err := io.ReadFull(sr.r, t[:])
+	return t, err
 }
 
 func (sr *serialReader) u64() uint64 {
@@ -142,11 +231,28 @@ func (sr *serialReader) length(max int) int {
 
 const maxSerialLen = 1 << 34 // generous sanity cap on array lengths
 
+// The array decoders below share one shape: chunked view()s with a
+// type-specialised inner loop (a per-element callback would cost a
+// dynamic call per element — measurably slower on multi-megabyte
+// streams).
+
 func (sr *serialReader) ints() []int {
 	n := sr.length(maxSerialLen)
 	v := make([]int, n)
-	for i := range v {
-		v[i] = sr.i()
+	var scratch [serialChunk * 8]byte
+	for base := 0; base < n; {
+		cnt := n - base
+		if cnt > serialChunk {
+			cnt = serialChunk
+		}
+		p := sr.view(cnt*8, scratch[:])
+		if sr.err != nil {
+			return v
+		}
+		for i := 0; i < cnt; i++ {
+			v[base+i] = int(int64(binary.LittleEndian.Uint64(p[i*8:])))
+		}
+		base += cnt
 	}
 	return v
 }
@@ -154,8 +260,20 @@ func (sr *serialReader) ints() []int {
 func (sr *serialReader) bools() []bool {
 	n := sr.length(maxSerialLen)
 	v := make([]bool, n)
-	for i := range v {
-		v[i] = sr.b()
+	var scratch [serialChunk * 8]byte
+	for base := 0; base < n; {
+		cnt := n - base
+		if cnt > serialChunk {
+			cnt = serialChunk
+		}
+		p := sr.view(cnt*8, scratch[:])
+		if sr.err != nil {
+			return v
+		}
+		for i := 0; i < cnt; i++ {
+			v[base+i] = binary.LittleEndian.Uint64(p[i*8:]) != 0
+		}
+		base += cnt
 	}
 	return v
 }
@@ -163,8 +281,20 @@ func (sr *serialReader) bools() []bool {
 func (sr *serialReader) int32s() []int32 {
 	n := sr.length(maxSerialLen)
 	v := make([]int32, n)
-	for i := range v {
-		v[i] = int32(uint32(sr.u64()))
+	var scratch [serialChunk * 8]byte
+	for base := 0; base < n; {
+		cnt := n - base
+		if cnt > serialChunk {
+			cnt = serialChunk
+		}
+		p := sr.view(cnt*8, scratch[:])
+		if sr.err != nil {
+			return v
+		}
+		for i := 0; i < cnt; i++ {
+			v[base+i] = int32(uint32(binary.LittleEndian.Uint64(p[i*8:])))
+		}
+		base += cnt
 	}
 	return v
 }
@@ -173,14 +303,27 @@ func readFloats[T sparse.Float](sr *serialReader) []T {
 	n := sr.length(maxSerialLen)
 	v := make([]T, n)
 	var probe T
-	if probeIs64(probe) {
-		for i := range v {
-			v[i] = T(math.Float64frombits(sr.u64()))
+	is64 := probeIs64(probe)
+	var scratch [serialChunk * 8]byte
+	for base := 0; base < n; {
+		cnt := n - base
+		if cnt > serialChunk {
+			cnt = serialChunk
 		}
-		return v
-	}
-	for i := range v {
-		v[i] = T(math.Float32frombits(uint32(sr.u64())))
+		p := sr.view(cnt*8, scratch[:])
+		if sr.err != nil {
+			return v
+		}
+		if is64 {
+			for i := 0; i < cnt; i++ {
+				v[base+i] = T(math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:])))
+			}
+		} else {
+			for i := 0; i < cnt; i++ {
+				v[base+i] = T(math.Float32frombits(uint32(binary.LittleEndian.Uint64(p[i*8:]))))
+			}
+		}
+		base += cnt
 	}
 	return v
 }
@@ -320,10 +463,19 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // ReadSolver reloads a solver serialised by WriteTo and binds it to the
 // given execution pool. The element type must match the one written.
 func ReadSolver[T sparse.Float](r io.Reader, pool exec.Launcher) (*Solver[T], error) {
+	return readSolver[T](&serialReader{r: bufio.NewReader(r)}, pool)
+}
+
+// readSolverBytes is ReadSolver over an in-memory stream: the zero-copy
+// buffer-mode decode the plan cache's hit path uses.
+func readSolverBytes[T sparse.Float](data []byte, pool exec.Launcher) (*Solver[T], error) {
+	return readSolver[T](&serialReader{buf: data}, pool)
+}
+
+func readSolver[T sparse.Float](sr *serialReader, pool exec.Launcher) (*Solver[T], error) {
 	if pool == nil {
 		pool = exec.NewSpinPool(0)
 	}
-	sr := &serialReader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(serialMagic))
 	sr.read(magic)
 	if sr.err != nil {
@@ -427,8 +579,8 @@ func ReadSolver[T sparse.Float](r io.Reader, pool exec.Launcher) (*Solver[T], er
 	}
 	// Verify the CRC trailer before trusting anything.
 	payloadCRC := sr.crc
-	var trailer [8]byte
-	if _, err := io.ReadFull(sr.r, trailer[:]); err != nil {
+	trailer, err := sr.trailer8()
+	if err != nil {
 		return nil, fmt.Errorf("%w: missing checksum: %v", ErrSerialize, err)
 	}
 	if got := uint32(binary.LittleEndian.Uint64(trailer[:])); got != payloadCRC {

@@ -116,6 +116,17 @@ func Preprocess[T sparse.Float](l *sparse.CSR[T], opts Options) (*Solver[T], err
 	if err := sparse.CheckLowerSolvable(l); err != nil {
 		return nil, err
 	}
+	if o.PlanCache != nil {
+		return preprocessCached(l, o)
+	}
+	return preprocessCold(l, o)
+}
+
+// preprocessCold runs the full analysis pipeline on already-validated,
+// already-normalised inputs. It is the body of Preprocess when no plan
+// cache is configured, and the miss path when one is.
+func preprocessCold[T sparse.Float](l *sparse.CSR[T], o Options) (*Solver[T], error) {
+	mAnalyzes.Inc()
 	n := l.Rows
 	s := &Solver[T]{n: n, opts: o, pool: o.Pool, orig: l}
 

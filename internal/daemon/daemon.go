@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/sss-lab/blocksptrsv/internal/block"
+	"github.com/sss-lab/blocksptrsv/internal/plancache"
 	"github.com/sss-lab/blocksptrsv/internal/sparse"
 )
 
@@ -61,6 +62,12 @@ type Config struct {
 	// path the daemon does not claim itself — typically an ObsHandler,
 	// giving the service /metrics, /debug/pprof and friends.
 	Obs http.Handler
+	// PlanCache, when non-nil, is applied to every AddMatrix that does
+	// not bring its own: a restarted daemon pointed at the same cache
+	// directory loads each matrix's serialized analysis instead of
+	// redoing it, so registration drops from the full preprocessing cost
+	// to a plan decode.
+	PlanCache *plancache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +120,9 @@ func (d *Daemon) AddMatrix(name string, l *sparse.CSR[float64], opts block.Optio
 	}
 	if opts.StallTimeout <= 0 {
 		opts.StallTimeout = 30 * time.Second
+	}
+	if opts.PlanCache == nil {
+		opts.PlanCache = d.cfg.PlanCache
 	}
 	s, err := block.Preprocess(l, opts)
 	if err != nil {

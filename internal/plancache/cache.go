@@ -1,0 +1,435 @@
+// Package plancache is the content-addressed solver-plan cache: the
+// paper's preprocessing costs 5–50× a single solve (Table 5), which is
+// the dominant cost for a restarted or horizontally-scaled solver fleet.
+// The cache amortises that analysis across program runs by keying
+// serialized plans on a hash of the matrix *structure* (values excluded,
+// so numeric updates with a fixed sparsity pattern still hit) and keeping
+// them in two tiers:
+//
+//   - an in-process LRU of live payloads under a byte-size budget, and
+//   - an on-disk directory of entries written atomically (temp file +
+//     rename) with a versioned header carrying the plan-format version
+//     and a payload checksum.
+//
+// A lookup that fails version or checksum verification is a typed miss
+// (ErrPlanVersion / ErrPlanChecksum) — never trusted, never fatal — and
+// the entry is rewritten by the next store. GetOrCreate single-flights
+// concurrent builders of the same key, so N goroutines racing to analyze
+// one matrix perform exactly one analysis.
+//
+// The cache stores opaque byte payloads; the solver layer owns what goes
+// inside them (internal/block wires its plan serializer through
+// Options.PlanCache).
+package plancache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sss-lab/blocksptrsv/internal/faultinject"
+	"github.com/sss-lab/blocksptrsv/internal/metrics"
+)
+
+// FormatVersion is the on-disk entry format version. Bump it on any
+// incompatible header or framing change; entries written by other
+// versions are typed misses, not errors.
+const FormatVersion = 1
+
+// entryMagic brands an entry file. Anything else in the directory — a
+// torn write from a pre-atomic-rename era, an unrelated file — is a
+// checksum-class miss.
+const entryMagic = "BSPLANC1"
+
+// headerSize is the fixed entry prologue: magic, format version,
+// payload length, payload CRC32.
+const headerSize = len(entryMagic) + 4 + 8 + 4
+
+// maxEntryBytes caps how large an entry the cache will read back, so a
+// corrupt length field cannot trigger an absurd allocation.
+const maxEntryBytes = int64(1) << 34
+
+// Typed verification failures. Both classes are misses: callers fall
+// back to analysis and the next Put overwrites the bad entry.
+var (
+	// ErrPlanVersion reports an entry written under a different
+	// plan-format version.
+	ErrPlanVersion = errors.New("plancache: plan format version mismatch")
+	// ErrPlanChecksum reports an entry whose bytes do not verify:
+	// truncation, a corrupted header field, a payload/CRC mismatch, or a
+	// file that is not a plan entry at all.
+	ErrPlanChecksum = errors.New("plancache: plan entry failed verification")
+)
+
+// Process-wide observability handles (DESIGN.md §6.6): every cache in
+// the process reports into the same registry, alongside the solver's
+// own counters.
+var (
+	mHits          = metrics.Default.Counter("plancache_hits")
+	mMisses        = metrics.Default.Counter("plancache_misses")
+	mEvictions     = metrics.Default.Counter("plancache_evictions")
+	mVerifyFails   = metrics.Default.Counter("plancache_verify_failures")
+	mStores        = metrics.Default.Counter("plancache_stores")
+	mResidentBytes = metrics.Default.Gauge("plancache_resident_bytes")
+)
+
+// Config sizes a cache. The zero value is a memory-only cache with the
+// default byte budget.
+type Config struct {
+	// Dir is the on-disk tier's directory, created if missing. Empty
+	// disables the disk tier (the cache is then per-process only).
+	Dir string
+	// MaxBytes bounds the in-process LRU's payload bytes (default
+	// 256 MiB). A payload larger than the whole budget is served and
+	// persisted but never held resident.
+	MaxBytes int64
+}
+
+// DefaultMaxBytes is the in-memory budget when Config.MaxBytes is 0.
+const DefaultMaxBytes = 256 << 20
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Hits          int64 // lookups served from memory or disk
+	Misses        int64 // lookups that found nothing usable
+	Evictions     int64 // in-memory entries dropped for the byte budget
+	VerifyFails   int64 // disk entries rejected by version/checksum
+	Stores        int64 // successful Puts
+	ResidentBytes int64 // current in-memory payload bytes
+	Entries       int   // current in-memory entry count
+}
+
+// Cache is a two-tier plan cache. All methods are safe for concurrent
+// use; the disk directory may additionally be shared between processes
+// (atomic rename means a reader sees either the previous complete entry
+// or the new one, never a torn write).
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+
+	flights map[string]*flight
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+	verifyFails atomic.Int64
+	stores      atomic.Int64
+}
+
+type lruEntry struct {
+	key  string
+	data []byte
+}
+
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Open returns a cache over the given configuration, creating the disk
+// directory when one is configured.
+func Open(cfg Config) (*Cache, error) {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("plancache: %w", err)
+		}
+	}
+	return &Cache{
+		dir:      cfg.Dir,
+		maxBytes: cfg.MaxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}, nil
+}
+
+// Dir reports the on-disk tier's directory ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Get returns the payload stored under key. A clean miss returns
+// (nil, nil); a disk entry that fails verification returns the typed
+// error (errors.Is ErrPlanVersion or ErrPlanChecksum) — both are misses
+// to the caller, the error only explains why.
+func (c *Cache) Get(key string) ([]byte, error) {
+	if data := c.memGet(key); data != nil {
+		c.hits.Add(1)
+		mHits.Inc()
+		return data, nil
+	}
+	if c.dir == "" {
+		c.misses.Add(1)
+		mMisses.Inc()
+		return nil, nil
+	}
+	data, err := c.diskGet(key)
+	switch {
+	case err == nil && data != nil:
+		c.memPut(key, data)
+		c.hits.Add(1)
+		mHits.Inc()
+		return data, nil
+	case err != nil:
+		c.verifyFails.Add(1)
+		mVerifyFails.Inc()
+		c.misses.Add(1)
+		mMisses.Inc()
+		return nil, err
+	default:
+		c.misses.Add(1)
+		mMisses.Inc()
+		return nil, nil
+	}
+}
+
+// Put stores the payload under key in both tiers. The disk write is
+// atomic: the entry is assembled in a temp file and renamed into place,
+// so concurrent readers (including other processes) never observe a
+// partial entry. Put also repairs: a corrupt entry under the same key is
+// simply overwritten.
+func (c *Cache) Put(key string, payload []byte) error {
+	if err := c.diskPut(key, payload); err != nil {
+		return err
+	}
+	c.memPut(key, payload)
+	c.stores.Add(1)
+	mStores.Inc()
+	return nil
+}
+
+// GetOrCreate returns the cached payload for key, or runs build to
+// produce it. Concurrent calls for the same key are single-flighted:
+// exactly one build runs, everyone shares its result. hit reports
+// whether the payload came from the cache.
+func (c *Cache) GetOrCreate(key string, build func() ([]byte, error)) (data []byte, hit bool, err error) {
+	// Fast path outside the flight lock: Get misses on corrupt entries
+	// (typed error swallowed here — the rebuild below repairs them).
+	if data, _ := c.Get(key); data != nil {
+		return data, true, nil
+	}
+	c.mu.Lock()
+	if f, inFlight := c.flights[key]; inFlight {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		// The builder's result counts as a hit for followers: they paid
+		// a wait, not an analysis.
+		return f.data, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+
+	// Re-check under the flight: another goroutine may have completed a
+	// Put between our miss and the flight registration.
+	if data, _ := c.Get(key); data != nil {
+		f.data = data
+		return data, true, nil
+	}
+	data, err = build()
+	if err != nil {
+		f.err = err
+		return nil, false, err
+	}
+	if err := c.Put(key, data); err != nil {
+		// The build succeeded; a failed persist (disk full, read-only
+		// dir) must not fail the caller. The payload is still served.
+		f.data = data
+		return data, false, nil
+	}
+	f.data = data
+	return data, false, nil
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	bytes := c.bytes
+	entries := c.ll.Len()
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		VerifyFails:   c.verifyFails.Load(),
+		Stores:        c.stores.Load(),
+		ResidentBytes: bytes,
+		Entries:       entries,
+	}
+}
+
+// --- in-memory tier ---
+
+func (c *Cache) memGet(key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).data
+}
+
+func (c *Cache) memPut(key string, data []byte) {
+	size := int64(len(data))
+	if size > c.maxBytes {
+		return // larger than the whole budget: disk-only
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*lruEntry)
+		c.bytes += size - int64(len(old.data))
+		old.data = data
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data})
+		c.bytes += size
+	}
+	var evicted int64
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.data))
+		evicted++
+	}
+	delta := c.bytes
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+		mEvictions.Add(evicted)
+	}
+	// The process-wide gauge tracks this cache's resident bytes; with
+	// several caches alive the gauge reflects the most recent mutator,
+	// which is enough for the "is the budget respected" question the
+	// gauge exists to answer.
+	mResidentBytes.Set(delta)
+}
+
+// --- on-disk tier ---
+
+// entryPath places an entry in the directory. Keys are hex hashes, so
+// they are filesystem-safe by construction; anything else is rejected by
+// the write path producing a file that simply never matches.
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".plan")
+}
+
+// diskGet reads and verifies one entry. Returns (nil, nil) when the
+// entry does not exist, a typed error when it exists but fails
+// verification.
+func (c *Cache) diskGet(key string) ([]byte, error) {
+	raw, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: %v", ErrPlanChecksum, err)
+	}
+	if faultinject.Enabled {
+		faultinject.CorruptBytes("plan-cache", raw)
+	}
+	return decodeEntry(raw)
+}
+
+// decodeEntry verifies the header and checksum of a raw entry file and
+// returns its payload.
+func decodeEntry(raw []byte) ([]byte, error) {
+	if len(raw) < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte file shorter than the %d-byte header", ErrPlanChecksum, len(raw), headerSize)
+	}
+	if string(raw[:len(entryMagic)]) != entryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrPlanChecksum, raw[:len(entryMagic)])
+	}
+	off := len(entryMagic)
+	version := binary.LittleEndian.Uint32(raw[off:])
+	off += 4
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: entry version %d, this build writes %d", ErrPlanVersion, version, FormatVersion)
+	}
+	length := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	sum := binary.LittleEndian.Uint32(raw[off:])
+	off += 4
+	if length > uint64(maxEntryBytes) || uint64(len(raw)-off) != length {
+		return nil, fmt.Errorf("%w: payload length %d, %d bytes present", ErrPlanChecksum, length, len(raw)-off)
+	}
+	payload := raw[off:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: payload crc 0x%08x, header says 0x%08x", ErrPlanChecksum, got, sum)
+	}
+	return payload, nil
+}
+
+// encodeEntry frames a payload with the versioned header.
+func encodeEntry(w io.Writer, payload []byte) error {
+	hdr := make([]byte, headerSize)
+	copy(hdr, entryMagic)
+	off := len(entryMagic)
+	binary.LittleEndian.PutUint32(hdr[off:], FormatVersion)
+	off += 4
+	binary.LittleEndian.PutUint64(hdr[off:], uint64(len(payload)))
+	off += 8
+	binary.LittleEndian.PutUint32(hdr[off:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// diskPut writes an entry atomically: temp file in the same directory,
+// then rename over the final name.
+func (c *Cache) diskPut(key string, payload []byte) error {
+	if c.dir == "" {
+		return nil
+	}
+	f, err := os.CreateTemp(c.dir, "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	tmp := f.Name()
+	if err := encodeEntry(f, payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("plancache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("plancache: %w", err)
+	}
+	if err := os.Rename(tmp, c.entryPath(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("plancache: %w", err)
+	}
+	return nil
+}

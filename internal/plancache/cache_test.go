@@ -1,0 +1,387 @@
+package plancache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func payload(seed byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed + byte(i)
+	}
+	return p
+}
+
+func mustOpen(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPutGetBothTiers(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Config{Dir: dir})
+	key := StructureKey(3, []int{0, 1, 2, 3}, []int{0, 1, 2})
+	want := payload(7, 1000)
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Memory tier.
+	got, err := c.Get(key)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("memory get: %v, equal=%v", err, bytes.Equal(got, want))
+	}
+	// Disk tier: a fresh cache over the same directory is a restarted
+	// process.
+	c2 := mustOpen(t, Config{Dir: dir})
+	got, err = c2.Get(key)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("disk get: %v, equal=%v", err, bytes.Equal(got, want))
+	}
+	st := c2.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.ResidentBytes != int64(len(want)) || st.Entries != 1 {
+		t.Fatalf("restart stats: %+v", st)
+	}
+
+	// Clean miss: nil payload, nil error.
+	got, err = c2.Get(StructureKey(4, []int{0, 1, 2, 3, 4}, []int{0, 1, 2, 3}))
+	if got != nil || err != nil {
+		t.Fatalf("clean miss: (%v, %v)", got, err)
+	}
+	if st := c2.Stats(); st.Misses != 1 {
+		t.Fatalf("miss not counted: %+v", st)
+	}
+}
+
+func TestMemoryOnlyCache(t *testing.T) {
+	c := mustOpen(t, Config{})
+	if c.Dir() != "" {
+		t.Fatalf("memory-only cache has dir %q", c.Dir())
+	}
+	key := "k"
+	if err := c.Put(key, payload(1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get(key); err != nil || got == nil {
+		t.Fatalf("memory get: (%v, %v)", got, err)
+	}
+	if got, err := c.Get("other"); got != nil || err != nil {
+		t.Fatalf("memory-only miss: (%v, %v)", got, err)
+	}
+}
+
+// TestCorruptionMatrix is the on-disk robustness table: every class of
+// entry damage must come back as the right typed error — never a panic,
+// never silently-wrong bytes — and a subsequent Put must repair the
+// entry in place.
+func TestCorruptionMatrix(t *testing.T) {
+	versionOff := len(entryMagic)
+	checksumOff := len(entryMagic) + 4 + 8
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated mid-payload", func(b []byte) []byte { return b[:len(b)-len(b)/4] }, ErrPlanChecksum},
+		{"truncated inside header", func(b []byte) []byte { return b[:headerSize/2] }, ErrPlanChecksum},
+		{"empty file", func(b []byte) []byte { return nil }, ErrPlanChecksum},
+		{"bit-flipped magic", func(b []byte) []byte { b[2] ^= 0x01; return b }, ErrPlanChecksum},
+		{"bit-flipped length", func(b []byte) []byte { b[versionOff+4] ^= 0x01; return b }, ErrPlanChecksum},
+		{"bumped version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[versionOff:], FormatVersion+1)
+			return b
+		}, ErrPlanVersion},
+		{"zeroed checksum", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[checksumOff:], 0)
+			return b
+		}, ErrPlanChecksum},
+		{"bit-flipped payload", func(b []byte) []byte { b[headerSize+5] ^= 0x80; return b }, ErrPlanChecksum},
+		{"absurd length field", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[versionOff+4:], uint64(maxEntryBytes)+1)
+			return b
+		}, ErrPlanChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := mustOpen(t, Config{Dir: dir})
+			key := DeriveKey(StructureKey(2, []int{0, 1, 2}, []int{0, 1}), tc.name)
+			want := payload(3, 512)
+			if err := c.Put(key, want); err != nil {
+				t.Fatal(err)
+			}
+			path := c.entryPath(key)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh cache bypasses the memory tier and must classify the
+			// damage.
+			fresh := mustOpen(t, Config{Dir: dir})
+			got, err := fresh.Get(key)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got (%v, %v), want error %v", got, err, tc.wantErr)
+			}
+			if got != nil {
+				t.Fatalf("corrupt entry yielded payload bytes: %d", len(got))
+			}
+			st := fresh.Stats()
+			if st.VerifyFails != 1 || st.Misses != 1 {
+				t.Fatalf("verify-fail accounting: %+v", st)
+			}
+
+			// The next store repairs the entry for everyone.
+			if err := fresh.Put(key, want); err != nil {
+				t.Fatal(err)
+			}
+			reread := mustOpen(t, Config{Dir: dir})
+			back, err := reread.Get(key)
+			if err != nil || !bytes.Equal(back, want) {
+				t.Fatalf("repair failed: (%v, %v)", len(back), err)
+			}
+		})
+	}
+}
+
+// TestCorruptEntryRebuiltByGetOrCreate proves the degraded path end to
+// end at the cache layer: a torn entry is a typed miss inside
+// GetOrCreate, the builder runs, and the rebuilt entry verifies again.
+func TestCorruptEntryRebuiltByGetOrCreate(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Config{Dir: dir})
+	key := StructureKey(5, []int{0, 2, 3, 4, 5, 6}, []int{0, 1, 1, 2, 3, 4})
+	want := payload(9, 256)
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(c.entryPath(key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := mustOpen(t, Config{Dir: dir})
+	var builds atomic.Int64
+	got, hit, err := fresh.GetOrCreate(key, func() ([]byte, error) {
+		builds.Add(1)
+		return want, nil
+	})
+	if err != nil || hit || builds.Load() != 1 || !bytes.Equal(got, want) {
+		t.Fatalf("rebuild: hit=%v builds=%d err=%v", hit, builds.Load(), err)
+	}
+	reread := mustOpen(t, Config{Dir: dir})
+	back, err := reread.Get(key)
+	if err != nil || !bytes.Equal(back, want) {
+		t.Fatalf("entry not repaired: (%d bytes, %v)", len(back), err)
+	}
+}
+
+func TestGetOrCreateBuildError(t *testing.T) {
+	c := mustOpen(t, Config{})
+	boom := errors.New("boom")
+	_, hit, err := c.GetOrCreate("k", func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) || hit {
+		t.Fatalf("build error not surfaced: hit=%v err=%v", hit, err)
+	}
+	// The failed flight must not wedge the key.
+	got, hit, err := c.GetOrCreate("k", func() ([]byte, error) { return payload(1, 8), nil })
+	if err != nil || hit || got == nil {
+		t.Fatalf("key wedged after failed build: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestSingleFlight floods one key with concurrent GetOrCreate calls and
+// requires exactly one build: the plan cache's answer to a fleet of
+// goroutines racing to analyze the same matrix.
+func TestSingleFlight(t *testing.T) {
+	c := mustOpen(t, Config{Dir: t.TempDir()})
+	key := StructureKey(9, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, []int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	want := payload(5, 4096)
+
+	var builds atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	const callers = 32
+	results := make([][]byte, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			data, _, err := c.GetOrCreate(key, func() ([]byte, error) {
+				builds.Add(1)
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = data
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds for one key, want 1", n)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, want) {
+			t.Fatalf("caller %d got %d bytes", i, len(r))
+		}
+	}
+}
+
+// TestLRUEvictionUnderPressure hammers a tiny byte budget from many
+// goroutines: the resident set must respect the budget throughout,
+// evictions must be counted, and every payload must remain servable from
+// disk after its in-memory copy is dropped.
+func TestLRUEvictionUnderPressure(t *testing.T) {
+	const maxBytes = 16 << 10
+	dir := t.TempDir()
+	c := mustOpen(t, Config{Dir: dir, MaxBytes: maxBytes})
+
+	const keys = 64
+	var wg sync.WaitGroup
+	for i := 0; i < keys; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%03d", i)
+			p := payload(byte(i), 1024+i)
+			if err := c.Put(key, p); err != nil {
+				t.Errorf("put %s: %v", key, err)
+				return
+			}
+			if got, err := c.Get(key); err != nil || !bytes.Equal(got, p) {
+				t.Errorf("get %s after put: err=%v", key, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.ResidentBytes > maxBytes {
+		t.Fatalf("resident %d bytes over the %d budget", st.ResidentBytes, maxBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("64 KiB+ through a 16 KiB budget with zero evictions: %+v", st)
+	}
+	// Evicted entries are still on disk.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		got, err := c.Get(key)
+		if err != nil || !bytes.Equal(got, payload(byte(i), 1024+i)) {
+			t.Fatalf("%s unreadable after eviction churn: %v", key, err)
+		}
+	}
+}
+
+// TestOversizedPayloadDiskOnly pins the budget edge case: a payload
+// larger than the whole LRU budget is persisted and served but never
+// held resident.
+func TestOversizedPayloadDiskOnly(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Config{Dir: dir, MaxBytes: 1024})
+	big := payload(1, 4096)
+	if err := c.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.ResidentBytes != 0 || st.Entries != 0 {
+		t.Fatalf("oversized payload held resident: %+v", st)
+	}
+	got, err := c.Get("big")
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("oversized payload unreadable: %v", err)
+	}
+}
+
+// TestTwoCachesSharedDir runs two Cache values over one directory — the
+// multi-process deployment in miniature — racing GetOrCreate on the same
+// keys. Every call must come back with the key's canonical payload and
+// the directory must end up with exactly one verified entry per key.
+func TestTwoCachesSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, Config{Dir: dir})
+	b := mustOpen(t, Config{Dir: dir})
+
+	const keys = 8
+	canon := func(k int) []byte { return payload(byte(k*3), 2048) }
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for _, c := range []*Cache{a, b} {
+			for rep := 0; rep < 4; rep++ {
+				wg.Add(1)
+				go func(k int, c *Cache) {
+					defer wg.Done()
+					key := fmt.Sprintf("shared-%d", k)
+					got, _, err := c.GetOrCreate(key, func() ([]byte, error) { return canon(k), nil })
+					if err != nil {
+						t.Errorf("%s: %v", key, err)
+						return
+					}
+					if !bytes.Equal(got, canon(k)) {
+						t.Errorf("%s: wrong payload", key)
+					}
+				}(k, c)
+			}
+		}
+	}
+	wg.Wait()
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*.plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != keys {
+		t.Fatalf("%d entries on disk, want %d", len(entries), keys)
+	}
+	// A third process trusts what the first two left behind.
+	fresh := mustOpen(t, Config{Dir: dir})
+	for k := 0; k < keys; k++ {
+		got, err := fresh.Get(fmt.Sprintf("shared-%d", k))
+		if err != nil || !bytes.Equal(got, canon(k)) {
+			t.Fatalf("shared-%d: (%d bytes, %v)", k, len(got), err)
+		}
+	}
+}
+
+// TestPutPersistFailureStillServes pins GetOrCreate's contract when the
+// disk tier is broken: the built payload is served and the call
+// succeeds, because a full or read-only cache directory must never fail
+// a solve.
+func TestPutPersistFailureStillServes(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	c := mustOpen(t, Config{Dir: dir})
+	// Make the directory unwritable so diskPut's CreateTemp fails.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	want := payload(2, 128)
+	got, hit, err := c.GetOrCreate("k", func() ([]byte, error) { return want, nil })
+	if err != nil || hit || !bytes.Equal(got, want) {
+		t.Fatalf("persist failure leaked to caller: hit=%v err=%v", hit, err)
+	}
+}

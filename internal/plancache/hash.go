@@ -1,0 +1,94 @@
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// StructureKey is the content address of a matrix's sparsity structure:
+// a SHA-256 over the dimension, the row pointers and the column indices,
+// rendered as lowercase hex. Values are deliberately excluded, so a
+// numeric update on a fixed sparsity pattern (the dominant pattern in
+// factorization reuse: same symbolic structure, new numbers) maps to the
+// same key and hits the cache.
+//
+// The encoding is fixed — little-endian uint64 per element with
+// length-framed sections — and pinned by a golden test, so an accidental
+// change to the hash algorithm or the framing fails loudly instead of
+// silently invalidating every deployed cache directory.
+func StructureKey(n int, rowPtr, colIdx []int) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	// Element width: 4 bytes when every index fits in a uint32 — every
+	// matrix under 4G nonzeros, i.e. all of them in practice — 8 bytes
+	// otherwise. Halving the hashed bytes halves the SHA cost, which sits
+	// directly on the warm-start path; the chosen width is itself hashed,
+	// so the two encodings can never collide.
+	width := 4
+	for _, v := range colIdx {
+		if int64(v) < 0 || int64(v) > math.MaxUint32 {
+			width = 8
+			break
+		}
+	}
+	// rowPtr is nondecreasing, so only the extremes need checking.
+	if len(rowPtr) > 0 && (int64(rowPtr[0]) < 0 || int64(rowPtr[len(rowPtr)-1]) > math.MaxUint32) {
+		width = 8
+	}
+	// Index arrays are staged through a chunk buffer: one hash call per
+	// 4096 elements, not one per element.
+	var chunk [4096 * 8]byte
+	putInts := func(v []int) {
+		put(uint64(len(v)))
+		for len(v) > 0 {
+			cnt := len(v)
+			if cnt > 4096 {
+				cnt = 4096
+			}
+			if width == 4 {
+				for i := 0; i < cnt; i++ {
+					binary.LittleEndian.PutUint32(chunk[i*4:], uint32(v[i]))
+				}
+				h.Write(chunk[:cnt*4])
+			} else {
+				for i := 0; i < cnt; i++ {
+					binary.LittleEndian.PutUint64(chunk[i*8:], uint64(int64(v[i])))
+				}
+				h.Write(chunk[:cnt*8])
+			}
+			v = v[cnt:]
+		}
+	}
+	put(uint64(int64(n)))
+	put(uint64(width))
+	putInts(rowPtr)
+	putInts(colIdx)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DeriveKey folds extra discriminators (element width, an options
+// fingerprint, a plan-format tag — anything that changes what the cached
+// payload would contain) into a structure key, producing the final cache
+// key. It is a plain SHA-256 over the parts with length framing, so no
+// concatenation of parts can collide with a different split of the same
+// bytes.
+func DeriveKey(structureKey string, parts ...string) string {
+	h := sha256.New()
+	var buf [8]byte
+	writePart := func(p string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(p)))
+		h.Write(buf[:])
+		h.Write([]byte(p))
+	}
+	writePart(structureKey)
+	for _, p := range parts {
+		writePart(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

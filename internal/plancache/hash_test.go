@@ -1,0 +1,108 @@
+package plancache
+
+import (
+	"math"
+	"regexp"
+	"testing"
+)
+
+// goldenStructureKey pins the exact hash of a fixed small structure (the
+// 4×4 lower bidiagonal). Any change to the algorithm, the element
+// encoding or the framing breaks this test — which is the point: such a
+// change silently invalidates every deployed cache directory and must be
+// made deliberately, alongside a FormatVersion bump.
+const goldenStructureKey = "9f3b18405f4c7590351b9c0e473db6f5dc7c8903b0fafeb90fe2f5c0018cb3f5"
+
+var (
+	goldenRowPtr = []int{0, 1, 3, 5, 7}
+	goldenColIdx = []int{0, 0, 1, 1, 2, 2, 3}
+)
+
+func TestStructureKeyGoldenPin(t *testing.T) {
+	got := StructureKey(4, goldenRowPtr, goldenColIdx)
+	if got != goldenStructureKey {
+		t.Fatalf("StructureKey changed:\n got %s\nwant %s\nA deliberate format change needs a FormatVersion bump and a new pin.", got, goldenStructureKey)
+	}
+}
+
+// TestStructureKeyDiscrimination is the key's contract table: equal on
+// anything values-only (the function never sees values, pinned here by
+// construction), different on any structural perturbation — including
+// boundary-shuffling ones that keep the concatenated element stream
+// identical, which only length framing can tell apart.
+func TestStructureKeyDiscrimination(t *testing.T) {
+	base := StructureKey(4, goldenRowPtr, goldenColIdx)
+
+	if again := StructureKey(4, goldenRowPtr, goldenColIdx); again != base {
+		t.Fatalf("not deterministic: %s vs %s", again, base)
+	}
+	diffs := []struct {
+		name   string
+		n      int
+		rowPtr []int
+		colIdx []int
+	}{
+		{"different n", 5, goldenRowPtr, goldenColIdx},
+		{"different rowPtr", 4, []int{0, 1, 3, 5, 6}, goldenColIdx},
+		{"different colIdx", 4, goldenRowPtr, []int{0, 0, 1, 1, 2, 3, 3}},
+		{"element moved across the rowPtr/colIdx boundary", 4,
+			goldenRowPtr[:len(goldenRowPtr)-1],
+			append([]int{goldenRowPtr[len(goldenRowPtr)-1]}, goldenColIdx...)},
+	}
+	for _, d := range diffs {
+		if k := StructureKey(d.n, d.rowPtr, d.colIdx); k == base {
+			t.Errorf("%s: collided with the base key", d.name)
+		}
+	}
+
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(base) {
+		t.Fatalf("key is not 64 hex chars: %q", base)
+	}
+}
+
+// TestStructureKeyWideIndices exercises the 8-byte element path: an
+// index beyond uint32 switches the whole encoding, and because the
+// chosen width is itself hashed the wide encoding of small values cannot
+// collide with the narrow one.
+func TestStructureKeyWideIndices(t *testing.T) {
+	if math.MaxInt <= math.MaxUint32 {
+		t.Skip("32-bit platform: indices cannot exceed uint32")
+	}
+	wide := []int{0, 0, 1, 1, 2, 2, math.MaxUint32 + 1}
+	k1 := StructureKey(4, goldenRowPtr, wide)
+	k2 := StructureKey(4, goldenRowPtr, wide)
+	if k1 != k2 {
+		t.Fatal("wide path not deterministic")
+	}
+	if k1 == StructureKey(4, goldenRowPtr, goldenColIdx) {
+		t.Fatal("wide encoding collided with narrow encoding")
+	}
+	// A negative index also forces the wide path (it cannot be narrowed
+	// losslessly); it must not panic and must discriminate.
+	neg := StructureKey(4, goldenRowPtr, []int{0, 0, 1, 1, 2, 2, -1})
+	if neg == k1 || neg == StructureKey(4, goldenRowPtr, goldenColIdx) {
+		t.Fatal("negative-index encoding collided")
+	}
+}
+
+func TestDeriveKeyFraming(t *testing.T) {
+	base := StructureKey(4, goldenRowPtr, goldenColIdx)
+	k := DeriveKey(base, "opts=a", "v1")
+	if k == DeriveKey(base, "opts=b", "v1") {
+		t.Fatal("options fingerprint did not discriminate")
+	}
+	if k == DeriveKey(base, "opts=a", "v2") {
+		t.Fatal("format tag did not discriminate")
+	}
+	if k == DeriveKey(base) {
+		t.Fatal("extra parts did not discriminate")
+	}
+	// Length framing: the same concatenated bytes split differently must
+	// not collide.
+	if DeriveKey(base, "ab", "c") == DeriveKey(base, "a", "bc") {
+		t.Fatal("part boundaries are not framed")
+	}
+	if DeriveKey(base, "opts=a", "v1") != k {
+		t.Fatal("not deterministic")
+	}
+}

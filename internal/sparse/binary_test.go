@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func binTestMatrix() *CSR[float64] {
+	// Irregular rows (including an empty one), non-trivial deltas.
+	return &CSR[float64]{
+		Rows: 5, Cols: 5,
+		RowPtr: []int{0, 1, 3, 3, 6, 8},
+		ColIdx: []int{0, 0, 1, 0, 2, 3, 1, 4},
+		Val:    []float64{1, -0.5, 2, 0.25, -3, 4, 1e-8, 5},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := binTestMatrix()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary[float64](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols {
+		t.Fatalf("shape changed: %dx%d", back.Rows, back.Cols)
+	}
+	for i := range m.RowPtr {
+		if back.RowPtr[i] != m.RowPtr[i] {
+			t.Fatalf("rowPtr[%d] = %d, want %d", i, back.RowPtr[i], m.RowPtr[i])
+		}
+	}
+	for p := range m.ColIdx {
+		if back.ColIdx[p] != m.ColIdx[p] || back.Val[p] != m.Val[p] {
+			t.Fatalf("entry %d: (%d, %g) vs (%d, %g)", p, back.ColIdx[p], back.Val[p], m.ColIdx[p], m.Val[p])
+		}
+	}
+}
+
+func TestBinaryRoundTripFloat32(t *testing.T) {
+	m := ConvertValues[float32](binTestMatrix())
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Width mismatch is typed, both directions.
+	if _, err := ReadBinary[float64](bytes.NewReader(data)); !errors.Is(err, ErrBinaryMatrix) {
+		t.Fatalf("f32 stream read as f64: %v", err)
+	}
+	back, err := ReadBinary[float32](bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range m.Val {
+		if back.Val[p] != m.Val[p] {
+			t.Fatalf("value %d: %g vs %g", p, back.Val[p], m.Val[p])
+		}
+	}
+}
+
+// TestBinaryDeterministic pins the property `make cachecheck` rests on:
+// encoding the same matrix twice produces identical bytes.
+func TestBinaryDeterministic(t *testing.T) {
+	m := binTestMatrix()
+	var a, b bytes.Buffer
+	if err := WriteBinary(&a, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same matrix differ")
+	}
+}
+
+func TestBinaryRejectsNonAscendingColumns(t *testing.T) {
+	m := &CSR[float64]{
+		Rows: 1, Cols: 3,
+		RowPtr: []int{0, 2},
+		ColIdx: []int{2, 1},
+		Val:    []float64{1, 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); !errors.Is(err, ErrBinaryMatrix) {
+		t.Fatalf("non-ascending columns accepted: %v", err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	m := binTestMatrix()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cp := func(b []byte) []byte { return append([]byte(nil), b...) }
+
+	cases := map[string]func() []byte{
+		"empty":              func() []byte { return nil },
+		"bad magic":          func() []byte { c := cp(good); c[0] = 'X'; return c },
+		"truncated header":   func() []byte { return cp(good)[:10] },
+		"truncated payload":  func() []byte { return cp(good)[:len(good)-6] },
+		"missing checksum":   func() []byte { return cp(good)[:len(good)-2] },
+		"flipped value byte": func() []byte { c := cp(good); c[len(c)-10] ^= 0x10; return c },
+		"flipped checksum":   func() []byte { c := cp(good); c[len(c)-1] ^= 0x01; return c },
+		"flipped width":      func() []byte { c := cp(good); c[len(bsmMagic)] = 4; return c },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadBinary[float64](bytes.NewReader(corrupt())); !errors.Is(err, ErrBinaryMatrix) {
+				t.Fatalf("corruption accepted: %v", err)
+			}
+		})
+	}
+}
