@@ -25,7 +25,7 @@ test:
 race:
 	$(GO) test -race . ./internal/exec ./internal/kernels ./internal/block \
 		./internal/core ./internal/metrics ./internal/bench ./internal/daemon \
-		./internal/plancache
+		./internal/plancache ./internal/reqtrace
 
 # Project-specific static analyzers (DESIGN.md §6.8): hot-path allocation
 # discipline, atomic-field access, spin-loop guards, wall-clock placement,
@@ -68,11 +68,13 @@ chaos:
 COVER_FLOOR_BLOCK     ?= 80
 COVER_FLOOR_EXEC      ?= 60
 COVER_FLOOR_PLANCACHE ?= 80
+COVER_FLOOR_REQTRACE  ?= 85
 
 cover:
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-block.out ./internal/block
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-exec.out ./internal/exec
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-plancache.out ./internal/plancache
+	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-reqtrace.out ./internal/reqtrace
 	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-block.out | awk '$$1=="total:" \
 		{ pct=$$3; sub(/%/,"",pct); printf "internal/block coverage: %s (floor $(COVER_FLOOR_BLOCK)%%)\n", $$3; \
 		  if (pct+0 < $(COVER_FLOOR_BLOCK)) exit 1 }'
@@ -82,6 +84,9 @@ cover:
 	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-plancache.out | awk '$$1=="total:" \
 		{ pct=$$3; sub(/%/,"",pct); printf "internal/plancache coverage: %s (floor $(COVER_FLOOR_PLANCACHE)%%)\n", $$3; \
 		  if (pct+0 < $(COVER_FLOOR_PLANCACHE)) exit 1 }'
+	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-reqtrace.out | awk '$$1=="total:" \
+		{ pct=$$3; sub(/%/,"",pct); printf "internal/reqtrace coverage: %s (floor $(COVER_FLOOR_REQTRACE)%%)\n", $$3; \
+		  if (pct+0 < $(COVER_FLOOR_REQTRACE)) exit 1 }'
 
 # Machine-readable perf trajectory (DESIGN.md §6.7). bench-json runs the
 # full canonical suite and refreshes the committed baseline; run it on a

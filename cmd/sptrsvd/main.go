@@ -30,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -71,6 +72,13 @@ func main() {
 		timeout      = flag.Duration("timeout", 5*time.Second, "serve: default per-request deadline when the client sends none")
 		drain        = flag.Duration("drain", 30*time.Second, "serve: shutdown drain budget")
 		cacheDir     = flag.String("cache-dir", "", "serve/smoke: plan-cache directory; a restart with the same matrices loads serialized analysis instead of redoing it")
+		flight       = flag.Int("flight", 0, "serve: flight-recorder ring size in requests (0 = default 256)")
+		traceSteps   = flag.Int("trace", 0, "serve: retain the last N solve steps in a trace recorder served at /trace (0 = off)")
+
+		sloLatency = flag.Duration("slo-latency", 0, "serve: SLO latency threshold per request (0 = default 50ms)")
+		sloTarget  = flag.Float64("slo-target", 0, "serve: fraction of requests that must beat -slo-latency (0 = default 0.99)")
+		sloBudget  = flag.Float64("slo-error-budget", 0, "serve: tolerated failed-request fraction (0 = default 0.01)")
+		sloWindow  = flag.Duration("slo-window", 0, "serve: rolling window the SLO monitor evaluates over (0 = default 60s)")
 
 		loadgen   = flag.Bool("loadgen", false, "load-generator mode: hammer a running daemon and report latency percentiles")
 		url       = flag.String("url", "http://127.0.0.1:8437", "loadgen: daemon base URL")
@@ -99,7 +107,8 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		fatalIf(runServe(specs, *listen, *cacheDir, *solveWorkers, *workers, *queue, *maxBatch, *window, *timeout, *drain))
+		slo := daemon.SLOConfig{Latency: *sloLatency, Target: *sloTarget, ErrorBudget: *sloBudget, Window: *sloWindow}
+		fatalIf(runServe(specs, *listen, *cacheDir, *solveWorkers, *workers, *queue, *maxBatch, *flight, *traceSteps, *window, *timeout, *drain, slo))
 	}
 }
 
@@ -144,10 +153,17 @@ func buildMatrix(spec string) (*sptrsv.Matrix[float64], error) {
 	}
 }
 
-func runServe(specs []matrixSpec, listen, cacheDir string, solveWorkers, workers, queue, maxBatch int, window, timeout, drain time.Duration) error {
+func runServe(specs []matrixSpec, listen, cacheDir string, solveWorkers, workers, queue, maxBatch, flight, traceSteps int, window, timeout, drain time.Duration, slo daemon.SLOConfig) error {
 	cache, err := openPlanCache(cacheDir)
 	if err != nil {
 		return err
+	}
+	// One step recorder shared by every matrix: /trace shows kernel-level
+	// steps, /debug/requests shows request spans, and Record.SolveID links
+	// the two.
+	var steps *sptrsv.TraceRecorder
+	if traceSteps > 0 {
+		steps = sptrsv.NewTraceRecorder(traceSteps)
 	}
 	d := daemon.New(daemon.Config{
 		MaxQueue:       queue,
@@ -156,11 +172,9 @@ func runServe(specs []matrixSpec, listen, cacheDir string, solveWorkers, workers
 		Workers:        solveWorkers,
 		DefaultTimeout: timeout,
 		PlanCache:      cache,
-		Obs: sptrsv.ObsHandler(sptrsv.ObsOptions{Index: []string{
-			"POST /solve/{matrix}   solve one RHS (JSON)",
-			"/matrices       per-matrix service stats (JSON)",
-			"/healthz        200 while serving, 503 once draining",
-		}}),
+		FlightRecorder: flight,
+		SLO:            slo,
+		Obs:            sptrsv.ObsHandler(sptrsv.ObsOptions{Trace: steps, Index: daemon.IndexLines()}),
 	})
 	for _, ms := range specs {
 		l, err := buildMatrix(ms.spec)
@@ -168,11 +182,26 @@ func runServe(specs []matrixSpec, listen, cacheDir string, solveWorkers, workers
 			return fmt.Errorf("matrix %s: %w", ms.name, err)
 		}
 		opts := sptrsv.DefaultOptions(workers)
+		opts.Trace = steps
 		if err := d.AddMatrix(ms.name, l, opts); err != nil {
 			return fmt.Errorf("matrix %s: %w", ms.name, err)
 		}
 		fmt.Printf("loaded %s: %d rows, %d nonzeros (%s)\n", ms.name, l.Rows, l.NNZ(), ms.spec)
 	}
+
+	// SIGQUIT dumps the flight recorder instead of killing the process:
+	// the always-on ring plus any fault snapshots, to stderr, while the
+	// daemon keeps serving. (Go's default SIGQUIT stack dump is replaced;
+	// kill -ABRT still produces one.)
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			if err := d.Flight().WriteFlight(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "sptrsvd: flight dump failed: %v\n", err)
+			}
+		}
+	}()
 
 	srv := &http.Server{Addr: listen, Handler: d.Handler()}
 	errc := make(chan error, 1)
@@ -215,7 +244,8 @@ func runLoadgen(url, name string, conc int, dur time.Duration, timeoutMS int, se
 		return err
 	}
 	lr := bench.NewLatencyResult(res.Matrix, res.Rows, conc, res.Elapsed,
-		res.Requests, res.OK, res.Shed, res.Deadlined, res.Failed, res.Coalesce, res.Latencies)
+		res.Requests, res.OK, res.Shed, res.Deadlined, res.Failed, res.Coalesce, res.Latencies,
+		bench.PhaseSamples{QueueWait: res.QueueWaits, Coalesce: res.Coalesces, Solve: res.Solves})
 	printLoad(res, lr)
 	if jsonOut != "" {
 		rep := bench.LoadReport(conc, []bench.LatencyResult{lr})
@@ -243,6 +273,12 @@ func printLoad(res *daemon.LoadResult, lr bench.LatencyResult) {
 	fmt.Printf("  coalesce %.2f RHS/batch\n", res.Coalesce)
 	fmt.Printf("  latency p50 %v  p99 %v  p999 %v  max %v\n",
 		time.Duration(lr.P50Ns), time.Duration(lr.P99Ns), time.Duration(lr.P999Ns), time.Duration(lr.MaxNs))
+	if len(res.Solves) > 0 {
+		fmt.Printf("  phases p50/p99: queue-wait %v/%v  coalesce %v/%v  solve %v/%v\n",
+			time.Duration(lr.QueueWaitP50Ns), time.Duration(lr.QueueWaitP99Ns),
+			time.Duration(lr.CoalesceP50Ns), time.Duration(lr.CoalesceP99Ns),
+			time.Duration(lr.SolveP50Ns), time.Duration(lr.SolveP99Ns))
+	}
 }
 
 // runSmoke is the CI gate: a one-worker in-process daemon must coalesce
@@ -283,8 +319,12 @@ func runSmoke(conc int, dur time.Duration, cacheDir string) error {
 		return err
 	}
 	lr := bench.NewLatencyResult(res.Matrix, res.Rows, conc, res.Elapsed,
-		res.Requests, res.OK, res.Shed, res.Deadlined, res.Failed, res.Coalesce, res.Latencies)
+		res.Requests, res.OK, res.Shed, res.Deadlined, res.Failed, res.Coalesce, res.Latencies,
+		bench.PhaseSamples{QueueWait: res.QueueWaits, Coalesce: res.Coalesces, Solve: res.Solves})
 	printLoad(res, lr)
+	if err := smokeDebugChecks("http://" + ln.Addr().String()); err != nil {
+		return err
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := d.Shutdown(ctx); err != nil {
@@ -303,6 +343,60 @@ func runSmoke(conc int, dur time.Duration, cacheDir string) error {
 		return fmt.Errorf("smoke: coalesce factor %.2f, want > 1 — the admission queue never batched", res.Coalesce)
 	}
 	fmt.Println("daemon smoke OK")
+	return nil
+}
+
+// smokeDebugChecks asserts the observability surface the burst should
+// have populated: /debug/requests serves a well-formed Chrome trace with
+// events, and /debug/flight holds a non-empty ring whose phase times sum
+// to no more than each request's total.
+func smokeDebugChecks(base string) error {
+	resp, err := http.Get(base + "/debug/requests?format=chrome")
+	if err != nil {
+		return fmt.Errorf("smoke: /debug/requests: %w", err)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&trace)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("smoke: /debug/requests is not valid Chrome trace JSON: %w", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		return errors.New("smoke: /debug/requests has no trace events after the burst")
+	}
+
+	resp, err = http.Get(base + "/debug/flight?format=json")
+	if err != nil {
+		return fmt.Errorf("smoke: /debug/flight: %w", err)
+	}
+	var flight struct {
+		Total   uint64 `json:"total"`
+		Records []struct {
+			ID          string `json:"id"`
+			Outcome     string `json:"outcome"`
+			QueueWaitNs int64  `json:"queue_wait_ns"`
+			CoalesceNs  int64  `json:"coalesce_ns"`
+			SolveNs     int64  `json:"solve_ns"`
+			TotalNs     int64  `json:"total_ns"`
+		} `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&flight)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("smoke: /debug/flight is not valid JSON: %w", err)
+	}
+	if len(flight.Records) == 0 {
+		return errors.New("smoke: flight ring is empty after the burst")
+	}
+	for _, rec := range flight.Records {
+		if sum := rec.QueueWaitNs + rec.CoalesceNs + rec.SolveNs; sum > rec.TotalNs {
+			return fmt.Errorf("smoke: request %s phases sum to %dns > total %dns", rec.ID, sum, rec.TotalNs)
+		}
+	}
+	fmt.Printf("  flight ring: %d records (%d total), span tree: %d trace events\n",
+		len(flight.Records), flight.Total, len(trace.TraceEvents))
 	return nil
 }
 

@@ -29,6 +29,25 @@ type LatencyResult struct {
 	P99Ns       int64   `json:"p99_ns"`
 	P999Ns      int64   `json:"p999_ns"`
 	MaxNs       int64   `json:"max_ns"`
+	// Per-phase percentiles (schema ≥ 4), attributed by the daemon's
+	// span tracing and collected from the X-Phase-* response headers:
+	// where each request's latency went — waiting in the admission
+	// queue, held in the coalesce window, or in the solve itself. Zero
+	// in reports from pre-v4 runs or servers without phase headers.
+	QueueWaitP50Ns int64 `json:"queue_wait_p50_ns,omitempty"`
+	QueueWaitP99Ns int64 `json:"queue_wait_p99_ns,omitempty"`
+	CoalesceP50Ns  int64 `json:"coalesce_p50_ns,omitempty"`
+	CoalesceP99Ns  int64 `json:"coalesce_p99_ns,omitempty"`
+	SolveP50Ns     int64 `json:"solve_p50_ns,omitempty"`
+	SolveP99Ns     int64 `json:"solve_p99_ns,omitempty"`
+}
+
+// PhaseSamples carries one load run's per-phase latency samples, each
+// slice sorted ascending. The zero value (no phase data) is valid.
+type PhaseSamples struct {
+	QueueWait []time.Duration
+	Coalesce  []time.Duration
+	Solve     []time.Duration
 }
 
 // Percentile cuts a sorted-ascending sample set at quantile q in [0,1]
@@ -50,9 +69,10 @@ func Percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[rank-1]
 }
 
-// NewLatencyResult folds one run's sorted latencies and outcome counts
-// into a LatencyResult with the standard percentile cuts.
-func NewLatencyResult(matrix string, rows, concurrency int, elapsed time.Duration, requests, ok, shed, deadlined, failed int64, coalesce float64, sorted []time.Duration) LatencyResult {
+// NewLatencyResult folds one run's sorted latencies, outcome counts and
+// per-phase samples into a LatencyResult with the standard percentile
+// cuts.
+func NewLatencyResult(matrix string, rows, concurrency int, elapsed time.Duration, requests, ok, shed, deadlined, failed int64, coalesce float64, sorted []time.Duration, phases PhaseSamples) LatencyResult {
 	lr := LatencyResult{
 		Matrix:      matrix,
 		Rows:        rows,
@@ -71,6 +91,12 @@ func NewLatencyResult(matrix string, rows, concurrency int, elapsed time.Duratio
 	if n := len(sorted); n > 0 {
 		lr.MaxNs = sorted[n-1].Nanoseconds()
 	}
+	lr.QueueWaitP50Ns = Percentile(phases.QueueWait, 0.50).Nanoseconds()
+	lr.QueueWaitP99Ns = Percentile(phases.QueueWait, 0.99).Nanoseconds()
+	lr.CoalesceP50Ns = Percentile(phases.Coalesce, 0.50).Nanoseconds()
+	lr.CoalesceP99Ns = Percentile(phases.Coalesce, 0.99).Nanoseconds()
+	lr.SolveP50Ns = Percentile(phases.Solve, 0.50).Nanoseconds()
+	lr.SolveP99Ns = Percentile(phases.Solve, 0.99).Nanoseconds()
 	return lr
 }
 

@@ -75,12 +75,23 @@ func TestPercentile(t *testing.T) {
 // and the LoadSuiteName suite tag.
 func TestLoadReportRoundTrip(t *testing.T) {
 	lats := []time.Duration{time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond}
-	lr := NewLatencyResult("grid-120", 14400, 8, 2*time.Second, 100, 95, 3, 2, 0, 4.75, lats)
+	phases := PhaseSamples{
+		QueueWait: []time.Duration{100 * time.Microsecond, 400 * time.Microsecond},
+		Coalesce:  []time.Duration{50 * time.Microsecond, 60 * time.Microsecond},
+		Solve:     []time.Duration{800 * time.Microsecond, 1500 * time.Microsecond},
+	}
+	lr := NewLatencyResult("grid-120", 14400, 8, 2*time.Second, 100, 95, 3, 2, 0, 4.75, lats, phases)
 	if lr.P50Ns != (2 * time.Millisecond).Nanoseconds() {
 		t.Fatalf("p50 = %d", lr.P50Ns)
 	}
 	if lr.MaxNs != (10 * time.Millisecond).Nanoseconds() {
 		t.Fatalf("max = %d", lr.MaxNs)
+	}
+	if lr.QueueWaitP50Ns != (100*time.Microsecond).Nanoseconds() || lr.QueueWaitP99Ns != (400*time.Microsecond).Nanoseconds() {
+		t.Fatalf("queue-wait percentiles = %d/%d", lr.QueueWaitP50Ns, lr.QueueWaitP99Ns)
+	}
+	if lr.SolveP99Ns != (1500 * time.Microsecond).Nanoseconds() {
+		t.Fatalf("solve p99 = %d", lr.SolveP99Ns)
 	}
 	rep := LoadReport(2, []LatencyResult{lr})
 	if rep.Schema != ReportSchemaVersion || rep.Suite != LoadSuiteName {

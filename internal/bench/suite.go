@@ -41,9 +41,11 @@ import (
 // any incompatible change; DecodeReport refuses reports it cannot read.
 // History: v1 = throughput results only; v2 (additive) = optional
 // "latency" section with service percentiles; v3 (additive) = optional
-// "startup" section with cold-analysis vs warm-plan-load medians. Every
-// bump has been additive, so v1 reports still decode.
-const ReportSchemaVersion = 3
+// "startup" section with cold-analysis vs warm-plan-load medians; v4
+// (additive) = per-phase percentiles (queue-wait, coalesce-hold, solve)
+// in latency entries, from the daemon's span-tracing headers. Every bump
+// has been additive, so v1 reports still decode.
+const ReportSchemaVersion = 4
 
 // oldestReadableSchema is the floor of DecodeReport's compatibility
 // window: every bump since it has been additive.

@@ -2,6 +2,7 @@ package block
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/sss-lab/blocksptrsv/internal/kernels"
 	"github.com/sss-lab/blocksptrsv/internal/sparse"
@@ -30,11 +31,17 @@ func (s *Solver[T]) SolveBatch(b, x []T, k int) {
 }
 
 // solveBatchWith is the shared batched solve path with injected scratch
-// and optional per-session sync-free states.
+// and optional per-session sync-free states. An attached TraceRecorder
+// sees one solve id for the whole batch and one record per plan step,
+// exactly like the single-RHS paths, so request spans can link to the
+// step trace through SolveStats.LastTraceID regardless of batching.
 func (s *Solver[T]) solveBatchWith(b, x []T, k int, wb, xb []T, states []*kernels.SyncFreeState, stats *SolveStats) {
 	if k <= 0 || len(b) != s.n*k || len(x) != s.n*k {
 		panic(fmt.Sprintf("block: SolveBatch got len(b)=%d len(x)=%d k=%d want %d", len(b), len(x), k, s.n*k))
 	}
+	rec := s.opts.Trace
+	sid := s.beginTrace()
+	stats.LastTraceID = sid
 	w := wb[:s.n*k]
 	xp := x
 	if s.perm != nil {
@@ -43,16 +50,26 @@ func (s *Solver[T]) solveBatchWith(b, x []T, k int, wb, xb []T, states []*kernel
 	} else {
 		copy(w, b)
 	}
-	for _, st := range s.steps {
+	for si, st := range s.steps {
+		var t0 time.Time
+		if rec != nil {
+			t0 = time.Now()
+		}
 		if st.kind == triSeg {
 			tb := &s.tris[st.idx]
 			s.solveTriBatch(tb, w[tb.lo*k:tb.hi*k], xp[tb.lo*k:tb.hi*k], k, stateFor(states, st.idx, tb))
 			mTriCalls[tb.kernel].Inc()
+			if rec != nil {
+				rec.record(sid, si, s.meta[si], uint8(tb.kernel), t0, time.Since(t0))
+			}
 		} else {
 			sb := &s.sqs[st.idx]
 			kernels.RunSpMVBatch(s.pool, sb.kernel, sb.csr, sb.dcsr,
 				xp[sb.spec.colLo*k:sb.spec.colHi*k], w[sb.spec.rowLo*k:sb.spec.rowHi*k], k)
 			mSpMVCalls[sb.kernel].Inc()
+			if rec != nil {
+				rec.record(sid, si, s.meta[si], uint8(sb.kernel), t0, time.Since(t0))
+			}
 		}
 	}
 	if s.perm != nil {

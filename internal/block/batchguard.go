@@ -3,6 +3,7 @@ package block
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/sss-lab/blocksptrsv/internal/faultinject"
 	"github.com/sss-lab/blocksptrsv/internal/kernels"
@@ -76,7 +77,9 @@ func checkBatchArgs(n, lenB, lenX, k int) error {
 
 // solveBatchContextWith mirrors solveBatchWith with a guard check between
 // steps: the cancellation watcher and the stall watchdog trip the guard,
-// and the schedule is abandoned at the next step boundary.
+// and the schedule is abandoned at the next step boundary. Like the plain
+// batch path it assigns one TraceRecorder solve id per batch (stored in
+// stats.LastTraceID) and records one step entry per plan step.
 func (s *Solver[T]) solveBatchContextWith(ctx context.Context, b, x []T, k int, wb, xb []T, states []*kernels.SyncFreeState, stats *SolveStats) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -87,6 +90,9 @@ func (s *Solver[T]) solveBatchContextWith(ctx context.Context, b, x []T, k int, 
 	g, stopWatchers := s.startGuard(ctx)
 	defer stopWatchers()
 
+	rec := s.opts.Trace
+	sid := s.beginTrace()
+	stats.LastTraceID = sid
 	w := wb[:s.n*k]
 	xp := x
 	if s.perm != nil {
@@ -95,9 +101,13 @@ func (s *Solver[T]) solveBatchContextWith(ctx context.Context, b, x []T, k int, 
 	} else {
 		copy(w, b)
 	}
-	for _, st := range s.steps {
+	for si, st := range s.steps {
 		if g.Tripped() {
 			return s.guardCause(g)
+		}
+		var t0 time.Time
+		if rec != nil {
+			t0 = time.Now()
 		}
 		if st.kind == triSeg {
 			if faultinject.Enabled {
@@ -107,12 +117,18 @@ func (s *Solver[T]) solveBatchContextWith(ctx context.Context, b, x []T, k int, 
 			s.solveTriBatch(tb, w[tb.lo*k:tb.hi*k], xp[tb.lo*k:tb.hi*k], k, stateFor(states, st.idx, tb))
 			g.Step()
 			mTriCalls[tb.kernel].Inc()
+			if rec != nil {
+				rec.record(sid, si, s.meta[si], uint8(tb.kernel), t0, time.Since(t0))
+			}
 		} else {
 			sb := &s.sqs[st.idx]
 			kernels.RunSpMVBatch(s.pool, sb.kernel, sb.csr, sb.dcsr,
 				xp[sb.spec.colLo*k:sb.spec.colHi*k], w[sb.spec.rowLo*k:sb.spec.rowHi*k], k)
 			g.Step()
 			mSpMVCalls[sb.kernel].Inc()
+			if rec != nil {
+				rec.record(sid, si, s.meta[si], uint8(sb.kernel), t0, time.Since(t0))
+			}
 		}
 	}
 	if g.Tripped() {

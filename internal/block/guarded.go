@@ -121,7 +121,9 @@ func (s *Solver[T]) solveContextWith(ctx context.Context, b, x []T, w, xpScratch
 	} else {
 		copy(w, b)
 	}
-	if !s.solveStepsGuarded(w, xp, states, g, stats, s.beginTrace()) {
+	sid := s.beginTrace()
+	stats.LastTraceID = sid
+	if !s.solveStepsGuarded(w, xp, states, g, stats, sid) {
 		return s.guardCause(g)
 	}
 	if faultinject.Enabled {

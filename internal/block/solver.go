@@ -39,6 +39,11 @@ type SolveStats struct {
 	// the way back to the serial reference (see Options.VerifyResidual).
 	Refinements int64
 	Fallbacks   int64
+	// LastTraceID is the TraceRecorder solve id assigned to the most
+	// recent solve on this stats stream (0 when no recorder is attached).
+	// Request-scoped observability (the daemon's span tracing) reads it
+	// after a solve to link a request span to the per-step trace records.
+	LastTraceID int64
 }
 
 // triBlock is a preprocessed triangular diagonal block: strictly-lower
@@ -464,7 +469,9 @@ func (s *Solver[T]) solveWith(b, x, w, xpScratch []T, states []*kernels.SyncFree
 	} else {
 		copy(w, b)
 	}
-	s.solveSteps(w, xp, states, s.opts.Instrument, stats, s.beginTrace())
+	sid := s.beginTrace()
+	stats.LastTraceID = sid
+	s.solveSteps(w, xp, states, s.opts.Instrument, stats, sid)
 	if s.perm != nil {
 		sparse.UnpermuteVecInto(x, xp, s.perm)
 	}

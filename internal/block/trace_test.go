@@ -2,6 +2,7 @@ package block
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -380,5 +381,64 @@ func TestTraceGuardedPath(t *testing.T) {
 		if x[i] != ref[i] {
 			t.Fatalf("guarded and plain solve disagree at %d: %v vs %v", i, ref[i], x[i])
 		}
+	}
+}
+
+// TestTraceBatchPaths: the batched solve paths assign one solve id per
+// batch, record one step entry per plan step (same as single-RHS), and
+// expose the id through SolveStats.LastTraceID so request-scoped spans
+// can link to the step trace.
+func TestTraceBatchPaths(t *testing.T) {
+	rec := NewTraceRecorder(1 << 12)
+	s, b, _ := traceTestSolver(t, rec)
+	n := s.Rows()
+	steps := len(s.steps)
+	const k = 3
+	bb := make([]float64, n*k)
+	for i := range bb {
+		bb[i] = b[i%n] + float64(i%k)
+	}
+	xb := make([]float64, n*k)
+
+	s.SolveBatch(bb, xb, k)
+	if got := rec.Total(); got != int64(steps) {
+		t.Fatalf("SolveBatch recorded %d steps, want %d", got, steps)
+	}
+	firstID := s.Stats().LastTraceID
+	if firstID == 0 {
+		t.Fatal("SolveBatch left LastTraceID unset")
+	}
+
+	if err := s.SolveBatchContext(context.Background(), bb, xb, k); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Total(); got != int64(2*steps) {
+		t.Fatalf("after SolveBatchContext recorded %d steps, want %d", got, 2*steps)
+	}
+	secondID := s.Stats().LastTraceID
+	if secondID != firstID+1 {
+		t.Fatalf("batch solve ids not sequential: %d then %d", firstID, secondID)
+	}
+	// Every retained step carries the solve id of the batch it ran in.
+	for _, step := range rec.Steps() {
+		if step.Solve != firstID && step.Solve != secondID {
+			t.Fatalf("step solve id %d not in {%d,%d}", step.Solve, firstID, secondID)
+		}
+	}
+
+	// Sessions thread ids through their own stats stream too.
+	ses := s.NewSession()
+	if err := ses.SolveBatchContext(context.Background(), bb, xb, k); err != nil {
+		t.Fatal(err)
+	}
+	if got := ses.Stats().LastTraceID; got != secondID+1 {
+		t.Fatalf("session batch id = %d, want %d", got, secondID+1)
+	}
+
+	// Without a recorder the id stays zero — the untraced marker.
+	s2, b2, x2 := traceTestSolver(t, nil)
+	s2.Solve(b2, x2)
+	if got := s2.Stats().LastTraceID; got != 0 {
+		t.Fatalf("untraced solve set LastTraceID = %d", got)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"github.com/sss-lab/blocksptrsv/internal/gen"
 	"github.com/sss-lab/blocksptrsv/internal/metrics"
 	"github.com/sss-lab/blocksptrsv/internal/plancache"
+	"github.com/sss-lab/blocksptrsv/internal/reqtrace"
 )
 
 // The daemon chaos suite (`make chaos`): fault hooks drive the service
@@ -193,6 +195,74 @@ func TestChaosCorruptPlanCacheDegradesToAnalysis(t *testing.T) {
 	checkSolution(t, l, b, x)
 	if err := d2.Shutdown(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChaosFaultSnapshotCapturesRequestID arms a kernel panic and proves
+// the flight recorder's automatic black-box capture fires: the snapshot
+// is tagged "fault", carries the faulting request's ID, retains the ring
+// records (the faulted request among them, with outcome fault), includes
+// the queue-depth detail, and holds a goroutine dump.
+func TestChaosFaultSnapshotCapturesRequestID(t *testing.T) {
+	faultinject.Reset()
+	faultinject.ArmPanic("tri-block", 0)
+	defer faultinject.Reset()
+
+	l := gen.Layered(500, 20, 4, 0.1, 1800)
+	d := New(Config{Workers: 1, MaxBatch: 4, Window: -1})
+	if err := d.AddMatrix("m", l, block.Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	sp := reqtrace.StartSpan("")
+	b := gen.RandVec(l.Rows, 1801)
+	_, err := d.SolveSpan(context.Background(), "m", b, sp)
+	var fault *SolveFault
+	if !errors.As(err, &fault) {
+		t.Fatalf("got %v, want *SolveFault", err)
+	}
+
+	snaps := d.Flight().Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(snaps))
+	}
+	snap := snaps[0]
+	if snap.Reason != "fault" {
+		t.Fatalf("snapshot reason = %q", snap.Reason)
+	}
+	if snap.RequestID != sp.ID {
+		t.Fatalf("snapshot request id = %q, want the faulting request %q", snap.RequestID, sp.ID)
+	}
+	if !strings.Contains(snap.Detail, "queue m:") {
+		t.Fatalf("snapshot detail lost the queue state: %q", snap.Detail)
+	}
+	if !strings.Contains(string(snap.Goroutines), "goroutine") {
+		t.Fatal("snapshot has no goroutine dump")
+	}
+	var found bool
+	for _, rec := range snap.Records {
+		if rec.ID == sp.ID && rec.Outcome == reqtrace.OutcomeFault {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("faulting request %s not among the snapshot's %d records", sp.ID, len(snap.Records))
+	}
+
+	// A second fault inside the rate-limit interval must not thrash
+	// another goroutine dump.
+	if _, err := d.SolveSpan(context.Background(), "m", b, nil); err == nil {
+		t.Fatal("second armed solve succeeded")
+	}
+	if got := len(d.Flight().Snapshots()); got != 1 {
+		t.Fatalf("rate limiter let %d snapshots through", got)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 
 	"github.com/sss-lab/blocksptrsv/internal/block"
 	"github.com/sss-lab/blocksptrsv/internal/plancache"
+	"github.com/sss-lab/blocksptrsv/internal/reqtrace"
 	"github.com/sss-lab/blocksptrsv/internal/sparse"
 )
 
@@ -68,6 +69,13 @@ type Config struct {
 	// redoing it, so registration drops from the full preprocessing cost
 	// to a plan decode.
 	PlanCache *plancache.Cache
+	// FlightRecorder sizes the always-on flight ring of recent request
+	// records (default 256). The recorder cannot be disabled — recording
+	// is a zero-allocation struct copy — only sized.
+	FlightRecorder int
+	// SLO is the per-matrix service objective the monitor evaluates over
+	// a rolling window (see SLOConfig; the zero value selects defaults).
+	SLO SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +102,9 @@ func (c Config) withDefaults() Config {
 // stop with Shutdown.
 type Daemon struct {
 	cfg Config
+	// rec is the always-on flight recorder every finished request lands
+	// in (see Flight).
+	rec *reqtrace.Recorder
 
 	// mu guards pipes and closed against Shutdown. Admission holds the
 	// read side across its queue send, so close(queue) can never race a
@@ -102,11 +113,23 @@ type Daemon struct {
 	pipes  map[string]*pipeline
 	closed bool
 	wg     sync.WaitGroup
+
+	// snapMu guards the automatic-snapshot rate limiter and the
+	// overload-burst detector (flight.go).
+	snapMu     sync.Mutex
+	lastSnap   time.Time
+	burstStart time.Time
+	burstN     int
 }
 
 // New returns an idle daemon with no matrices.
 func New(cfg Config) *Daemon {
-	return &Daemon{cfg: cfg.withDefaults(), pipes: map[string]*pipeline{}}
+	cfg = cfg.withDefaults()
+	return &Daemon{
+		cfg:   cfg,
+		rec:   reqtrace.NewRecorder(cfg.FlightRecorder),
+		pipes: map[string]*pipeline{},
+	}
 }
 
 // AddMatrix preprocesses the lower-triangular matrix under the given
@@ -136,6 +159,7 @@ func (d *Daemon) AddMatrix(name string, l *sparse.CSR[float64], opts block.Optio
 		queue:    make(chan *request, d.cfg.MaxQueue),
 		window:   d.cfg.Window,
 		maxBatch: d.cfg.MaxBatch,
+		slo:      newSLOMonitor(name, d.cfg.SLO),
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -170,30 +194,59 @@ func (d *Daemon) Rows(matrix string) (int, error) {
 // the caller. Solve is safe for any number of concurrent callers; that
 // is the point.
 func (d *Daemon) Solve(ctx context.Context, matrix string, b []float64) ([]float64, error) {
+	return d.SolveSpan(ctx, matrix, b, nil)
+}
+
+// SolveSpan is Solve with a caller-provided request span (the HTTP layer
+// passes one seeded from an incoming X-Request-Id; nil starts a fresh
+// one). Whatever the outcome, the span is finished exactly once, its
+// record lands in the flight ring, and the SLO monitor and automatic
+// snapshot triggers observe it.
+func (d *Daemon) SolveSpan(ctx context.Context, matrix string, b []float64, sp *reqtrace.Span) ([]float64, error) {
+	if sp == nil {
+		sp = reqtrace.StartSpan("")
+	}
+	sp.Matrix = matrix
+	x, p, err := d.admit(ctx, matrix, b, sp)
+	rec := sp.Finish(classifyOutcome(err, sp))
+	d.rec.Record(rec)
+	d.finishRequest(p, rec)
+	return x, err
+}
+
+// admit is the admission pipeline: validate, apply the default deadline,
+// try the bounded queue, wait for resolution. It returns the pipeline it
+// resolved against (nil for unknown matrices) so the caller can attribute
+// the outcome.
+func (d *Daemon) admit(ctx context.Context, matrix string, b []float64, sp *reqtrace.Span) ([]float64, *pipeline, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	d.mu.RLock()
 	if d.closed {
 		d.mu.RUnlock()
-		return nil, ErrDraining
+		return nil, nil, ErrDraining
 	}
 	p := d.pipes[matrix]
 	if p == nil {
 		d.mu.RUnlock()
-		return nil, fmt.Errorf("%w: %q", ErrUnknownMatrix, matrix)
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownMatrix, matrix)
 	}
 	if len(b) != p.n {
 		d.mu.RUnlock()
-		return nil, &DimensionError{Matrix: matrix, Want: p.n, Got: len(b)}
+		return nil, p, &DimensionError{Matrix: matrix, Want: p.n, Got: len(b)}
 	}
 	var cancel context.CancelFunc
 	if _, ok := ctx.Deadline(); !ok && d.cfg.DefaultTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, d.cfg.DefaultTimeout)
 	}
-	req := &request{ctx: ctx, b: b, x: make([]float64, p.n), enq: time.Now(), done: make(chan error, 1)}
+	if dl, ok := ctx.Deadline(); ok {
+		sp.SetDeadline(dl)
+	}
+	req := &request{ctx: ctx, b: b, x: make([]float64, p.n), enq: time.Now(), done: make(chan error, 1), sp: sp}
 	select {
 	case p.queue <- req:
+		sp.MarkEnqueued()
 		mQueueDepth.Add(1)
 		mRequests.Inc()
 		d.mu.RUnlock()
@@ -204,7 +257,11 @@ func (d *Daemon) Solve(ctx context.Context, matrix string, b []float64) ([]float
 		if cancel != nil {
 			cancel()
 		}
-		return nil, &OverloadError{Matrix: matrix, Depth: cap(p.queue), RetryAfter: p.retryAfter()}
+		d.noteShed()
+		return nil, p, &OverloadError{
+			Matrix: matrix, Depth: cap(p.queue), Queued: len(p.queue),
+			RetryAfter: p.retryAfter(),
+		}
 	}
 	// Every admitted request is resolved exactly once — by a solve, an
 	// expiry drop at dequeue, or the drain after Shutdown — so waiting
@@ -215,9 +272,9 @@ func (d *Daemon) Solve(ctx context.Context, matrix string, b []float64) ([]float
 		cancel()
 	}
 	if err != nil {
-		return nil, err
+		return nil, p, err
 	}
-	return req.x, nil
+	return req.x, p, nil
 }
 
 // Shutdown refuses new work, lets the workers drain everything already

@@ -25,6 +25,11 @@ type OverloadError struct {
 	Matrix string
 	// Depth is the queue bound that was hit.
 	Depth int
+	// Queued is the queue's fill when the request was refused (normally
+	// Depth, but a worker may have drained a slot between the failed send
+	// and the snapshot). The HTTP layer surfaces it in the 429 body so
+	// clients can correlate retries with /debug/flight dumps.
+	Queued int
 	// RetryAfter is the server's backoff hint, derived from recent solve
 	// latency so clients back off roughly one batch's worth of work.
 	RetryAfter time.Duration

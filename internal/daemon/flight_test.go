@@ -1,0 +1,518 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sss-lab/blocksptrsv/internal/block"
+	"github.com/sss-lab/blocksptrsv/internal/gen"
+	"github.com/sss-lab/blocksptrsv/internal/reqtrace"
+)
+
+// Tests for the daemon's side of the request-observability layer: flight
+// ring population and outcome accounting, phase attribution arithmetic,
+// the request-id plumbing through HTTP, the verbose health view, and the
+// SLO monitor's degradation thresholds.
+
+// lastRecord returns the newest flight record for the given request id.
+func lastRecord(t *testing.T, d *Daemon, id string) reqtrace.Record {
+	t.Helper()
+	recs := d.Flight().Records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].ID == id {
+			return recs[i]
+		}
+	}
+	t.Fatalf("request %s not in flight ring (%d records)", id, len(recs))
+	return reqtrace.Record{}
+}
+
+// TestFlightRingPhaseAttribution: every Solve leaves exactly one record
+// in the flight ring, its phase durations sum to the end-to-end latency
+// within the admit+respond overhead of a direct in-process call, and —
+// with a step recorder attached — its solve id resolves to actual step
+// records in the TraceRecorder ring.
+func TestFlightRingPhaseAttribution(t *testing.T) {
+	l := testMatrix()
+	steps := block.NewTraceRecorder(4096)
+	d := New(Config{Workers: 2, MaxBatch: 8, Window: 200 * time.Microsecond})
+	if err := d.AddMatrix("m", l, block.Options{Workers: 2, Trace: steps}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	const n = 6
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sp := reqtrace.StartSpan("")
+			ids[c] = sp.ID
+			b := gen.RandVec(l.Rows, int64(5000+c))
+			if _, err := d.SolveSpan(context.Background(), "m", b, sp); err != nil {
+				t.Errorf("request %d: %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if got := d.Flight().Total(); got != n {
+		t.Fatalf("flight ring recorded %d requests, want %d", got, n)
+	}
+	stepsBySolve := map[int64]int{}
+	for _, st := range steps.Steps() {
+		stepsBySolve[st.Solve]++
+	}
+	for c, id := range ids {
+		rec := lastRecord(t, d, id)
+		if rec.Outcome != reqtrace.OutcomeOK {
+			t.Fatalf("request %d outcome = %v, want ok", c, rec.Outcome)
+		}
+		if rec.Matrix != "m" || rec.Batch < 1 || rec.Solve <= 0 || rec.Total <= 0 {
+			t.Fatalf("request %d record incomplete: %+v", c, rec)
+		}
+		if rec.SolveID == 0 {
+			t.Fatalf("request %d has no solve id: the span never linked to the step trace", c)
+		}
+		if stepsBySolve[rec.SolveID] == 0 {
+			t.Fatalf("request %d solve id %d has no step records in the trace ring", c, rec.SolveID)
+		}
+		sum := rec.QueueWait + rec.Coalesce + rec.Solve
+		if sum > rec.Total {
+			t.Fatalf("request %d phases sum to %v > total %v", c, sum, rec.Total)
+		}
+		// The remainder is admit + respond: for a direct in-process call
+		// both are bookkeeping, far below the phase durations themselves.
+		if slack := rec.Total - sum; slack > 100*time.Millisecond {
+			t.Fatalf("request %d: %v of the total is unattributed (phases %v of %v)", c, slack, sum, rec.Total)
+		}
+	}
+}
+
+// TestExpiredRequestInFlightRing: a request dropped at dequeue because
+// its deadline passed while queued must land in the flight ring with
+// outcome "expired" — distinguishable from a deadline that fired during
+// a solve — not vanish.
+func TestExpiredRequestInFlightRing(t *testing.T) {
+	l := testMatrix()
+	d := newTestDaemon(t, Config{Workers: 1, MaxQueue: 4, MaxBatch: 1, Window: -1}, l)
+	entered, release := blockWorkers(d, "m")
+
+	b := gen.RandVec(l.Rows, 5100)
+	blockerErr := make(chan error, 1)
+	go func() { _, err := d.Solve(context.Background(), "m", b); blockerErr <- err }()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	victim := reqtrace.StartSpan("")
+	victimErr := make(chan error, 1)
+	go func() { _, err := d.SolveSpan(ctx, "m", b, victim); victimErr <- err }()
+	waitQueued(t, d, "m", 1)
+	<-ctx.Done()
+
+	close(release)
+	if err := <-blockerErr; err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if err := <-victimErr; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("victim got %v, want context.DeadlineExceeded", err)
+	}
+
+	rec := lastRecord(t, d, victim.ID)
+	if rec.Outcome != reqtrace.OutcomeExpired {
+		t.Fatalf("expired request recorded as %v, want expired", rec.Outcome)
+	}
+	if rec.Solve != 0 || rec.Batch != 0 {
+		t.Fatalf("expired request shows solve work: %+v", rec)
+	}
+	if !rec.HasDeadline {
+		t.Fatal("expired request lost its deadline slack")
+	}
+	<-entered // second batch parked and released too (release is closed)
+}
+
+// TestStatsSnapshotUnderConcurrentLoad hammers every read-side snapshot
+// — Stats, SLOStatuses, Health, the flight ring, and both flight exports
+// — while solves are in flight. Failures here are data races (caught by
+// `make race`) or snapshot inconsistencies.
+func TestStatsSnapshotUnderConcurrentLoad(t *testing.T) {
+	l := testMatrix()
+	d := newTestDaemon(t, Config{Workers: 2, MaxBatch: 8, Window: 100 * time.Microsecond}, l)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, st := range d.Stats() {
+				if st.Queued < 0 || st.Queued > st.Capacity {
+					t.Errorf("queue snapshot out of bounds: %+v", st)
+					return
+				}
+				if st.Batched < st.Batches {
+					t.Errorf("batched %d < batches %d", st.Batched, st.Batches)
+					return
+				}
+			}
+			for _, st := range d.SLOStatuses() {
+				if st.Slow+st.Failed > st.Requests {
+					t.Errorf("SLO window inconsistent: %+v", st)
+					return
+				}
+			}
+			if h := d.Health(); h != "ok" && h != "degraded" && h != "critical" {
+				t.Errorf("health = %q mid-load", h)
+				return
+			}
+			var prev uint64
+			for _, rec := range d.Flight().Records() {
+				if rec.Seq <= prev && prev != 0 {
+					t.Errorf("flight ring out of order: seq %d after %d", rec.Seq, prev)
+					return
+				}
+				prev = rec.Seq
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				b := gen.RandVec(l.Rows, int64(5200+10*c+iter))
+				if _, err := d.Solve(context.Background(), "m", b); err != nil {
+					t.Errorf("client %d iter %d: %v", c, iter, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got, want := d.Flight().Total(), uint64(24); got != want {
+		t.Fatalf("flight ring total = %d, want %d", got, want)
+	}
+}
+
+// TestHTTPRequestIDAndPhaseHeaders: the handler honors an incoming
+// X-Request-Id, echoes it, attributes phases in response headers that
+// sum to no more than the reported total, and the same id is findable in
+// the flight ring afterwards.
+func TestHTTPRequestIDAndPhaseHeaders(t *testing.T) {
+	l := gen.Layered(800, 20, 5, 0.1, 5300)
+	d := newTestDaemon(t, Config{Workers: 2}, l)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	body, err := json.Marshal(SolveRequest{B: gen.RandVec(l.Rows, 5301)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/solve/m", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "client-chosen-id-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "client-chosen-id-1" {
+		t.Fatalf("X-Request-Id = %q, want the client's id echoed", got)
+	}
+	var qw, co, so, total int64
+	for _, h := range []struct {
+		name string
+		dst  *int64
+	}{
+		{"X-Phase-Queue-Wait-Ns", &qw},
+		{"X-Phase-Coalesce-Ns", &co},
+		{"X-Phase-Solve-Ns", &so},
+		{"X-Phase-Total-Ns", &total},
+	} {
+		if err := json.Unmarshal([]byte(resp.Header.Get(h.name)), h.dst); err != nil {
+			t.Fatalf("%s = %q: %v", h.name, resp.Header.Get(h.name), err)
+		}
+	}
+	if so <= 0 || total <= 0 {
+		t.Fatalf("phase headers empty: solve %d, total %d", so, total)
+	}
+	if sum := qw + co + so; sum > total {
+		t.Fatalf("phase headers sum to %d > total %d", sum, total)
+	}
+	if resp.Header.Get("X-Batch") == "" || resp.Header.Get("X-Batch") == "0" {
+		t.Fatalf("X-Batch = %q", resp.Header.Get("X-Batch"))
+	}
+	rec := lastRecord(t, d, "client-chosen-id-1")
+	if rec.Outcome != reqtrace.OutcomeOK {
+		t.Fatalf("ring outcome = %v", rec.Outcome)
+	}
+}
+
+// TestHTTPOverloadBodyCarriesQueueState: a 429 body identifies the
+// request and reports the queue fill and bound that shed it, so the
+// client can correlate the rejection with a /debug/flight dump.
+func TestHTTPOverloadBodyCarriesQueueState(t *testing.T) {
+	l := testMatrix()
+	d := newTestDaemon(t, Config{Workers: 1, MaxQueue: 1, MaxBatch: 1, Window: -1}, l)
+	entered, release := blockWorkers(d, "m")
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	b := gen.RandVec(l.Rows, 5400)
+	results := make(chan int, 2)
+	post := func() {
+		resp, _ := postJSON(t, srv.URL+"/solve/m", SolveRequest{B: b})
+		results <- resp.StatusCode
+	}
+	go post()
+	<-entered
+	go post()
+	waitQueued(t, d, "m", 1)
+
+	resp, body := postJSON(t, srv.URL+"/solve/m", SolveRequest{B: b})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "overload" || er.RequestID == "" {
+		t.Fatalf("overload body missing identity: %+v", er)
+	}
+	if er.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Fatalf("body id %q != header id %q", er.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+	if er.QueueDepth != 1 || er.QueueCapacity != 1 {
+		t.Fatalf("queue state = %d/%d, want 1/1", er.QueueDepth, er.QueueCapacity)
+	}
+	rec := lastRecord(t, d, er.RequestID)
+	if rec.Outcome != reqtrace.OutcomeShed {
+		t.Fatalf("shed request recorded as %v", rec.Outcome)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("admitted request %d got %d", i, code)
+		}
+	}
+	<-entered
+}
+
+// TestHTTPDebugEndpoints: /debug/requests serves both formats, the
+// Chrome export is valid JSON with one request event per solve, and
+// /debug/flight round-trips through its JSON form.
+func TestHTTPDebugEndpoints(t *testing.T) {
+	l := gen.Layered(800, 20, 5, 0.1, 5500)
+	d := newTestDaemon(t, Config{Workers: 2}, l)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, srv.URL+"/solve/m", SolveRequest{B: gen.RandVec(l.Rows, int64(5501+i))})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/requests?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&trace)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/requests chrome export is not JSON: %v", err)
+	}
+	var requests, phases int
+	for _, ev := range trace.TraceEvents {
+		switch ev.Cat {
+		case "request":
+			requests++
+		case "phase":
+			phases++
+		}
+	}
+	if requests != 3 || phases == 0 {
+		t.Fatalf("span tree has %d request events (want 3) and %d phase events (want > 0)", requests, phases)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/flight?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight struct {
+		Total   uint64 `json:"total"`
+		Records []struct {
+			Outcome string `json:"outcome"`
+		} `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&flight)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/flight json export: %v", err)
+	}
+	if flight.Total != 3 || len(flight.Records) != 3 {
+		t.Fatalf("flight = %d total, %d records, want 3/3", flight.Total, len(flight.Records))
+	}
+	for _, rec := range flight.Records {
+		if rec.Outcome != "ok" {
+			t.Fatalf("flight outcome %q", rec.Outcome)
+		}
+	}
+
+	for _, bad := range []string{"/debug/requests?format=nope", "/debug/flight?format=nope"} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthVerboseAndSLODegradation: with an impossible latency
+// objective every request is an objective violation, so once the window
+// holds sloMinSamples the matrix turns critical, /healthz?verbose=1
+// reports the burn, and plain /healthz answers 503 while requests still
+// succeed — health degrades before the queue hard-fails.
+func TestHealthVerboseAndSLODegradation(t *testing.T) {
+	l := gen.SerialChain(300, 0.2, 5600)
+	d := newTestDaemon(t, Config{
+		Workers: 2,
+		SLO:     SLOConfig{Latency: time.Nanosecond, Target: 0.99, Window: time.Minute},
+	}, l)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	for i := 0; i < sloMinSamples; i++ {
+		b := gen.RandVec(l.Rows, int64(5601+i))
+		if _, err := d.Solve(context.Background(), "m", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz?verbose=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&hr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || hr.State != "critical" {
+		t.Fatalf("verbose health = %d %q, want 503 critical", resp.StatusCode, hr.State)
+	}
+	if len(hr.Matrices) != 1 {
+		t.Fatalf("matrices: %+v", hr.Matrices)
+	}
+	st := hr.Matrices[0]
+	if st.State != "critical" || st.LatencyBurn < 4 || st.Slow != sloMinSamples {
+		t.Fatalf("SLO status: %+v", st)
+	}
+	if st.Capacity == 0 || st.WindowS != 60 {
+		t.Fatalf("SLO status lost its config echo: %+v", st)
+	}
+
+	plain, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Body.Close()
+	if plain.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("critical plain healthz = %d, want 503", plain.StatusCode)
+	}
+
+	// Critical is a warning, not a refusal: solves still succeed.
+	b := gen.RandVec(l.Rows, 5699)
+	x, err := d.Solve(context.Background(), "m", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, l, b, x)
+}
+
+// TestSLOMonitorThresholds exercises the monitor directly: a fresh
+// window is ok regardless of failures until sloMinSamples, latency burns
+// degrade at 1 and turn critical at 4, and the error budget behaves the
+// same way for failed outcomes.
+func TestSLOMonitorThresholds(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := newSLOMonitor("t", SLOConfig{Latency: time.Millisecond, Target: 0.9, ErrorBudget: 0.1, Window: time.Minute})
+
+	// Below the sample floor nothing flips, even at 100% failure.
+	for i := 0; i < sloMinSamples-1; i++ {
+		m.observe(time.Second, true, now)
+	}
+	if st := m.status("t", now); st.State != "ok" {
+		t.Fatalf("sub-floor window = %q, want ok", st.State)
+	}
+
+	// 100% failures: error burn = 1/0.1 = 10 ≥ 4 → critical.
+	m.observe(time.Second, true, now)
+	if st := m.status("t", now); st.State != "critical" || st.ErrorBurn < 4 {
+		t.Fatalf("all-failed window: %+v", st)
+	}
+
+	// A fresh monitor with exactly the budgeted slow fraction burns at
+	// 1.0: degraded, not critical.
+	m2 := newSLOMonitor("t2", SLOConfig{Latency: time.Millisecond, Target: 0.9, ErrorBudget: 0.1, Window: time.Minute})
+	for i := 0; i < 90; i++ {
+		m2.observe(time.Microsecond, false, now)
+	}
+	for i := 0; i < 10; i++ {
+		m2.observe(time.Second, false, now)
+	}
+	st := m2.status("t2", now)
+	if st.State != "degraded" || st.LatencyBurn < 0.99 || st.LatencyBurn > 1.01 {
+		t.Fatalf("budget-exact window: %+v", st)
+	}
+
+	// The window expires: the same monitor an hour later is ok again.
+	if st := m2.status("t2", now.Add(time.Hour)); st.State != "ok" || st.Requests != 0 {
+		t.Fatalf("expired window: %+v", st)
+	}
+}

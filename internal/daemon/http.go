@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/sss-lab/blocksptrsv/internal/block"
+	"github.com/sss-lab/blocksptrsv/internal/reqtrace"
 )
 
 // The HTTP surface: a thin JSON façade over Solve. Every daemon error
@@ -41,13 +42,23 @@ type SolveResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind"`
+	// RequestID correlates the failure with /debug/requests and
+	// /debug/flight (empty only when the failure precedes span creation).
+	RequestID string `json:"request_id,omitempty"`
+	// QueueDepth and QueueCapacity are set on overload responses: the
+	// admission queue's fill and bound at the moment the request was
+	// shed.
+	QueueDepth    int `json:"queue_depth,omitempty"`
+	QueueCapacity int `json:"queue_capacity,omitempty"`
 }
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /solve/{matrix}  solve one RHS (JSON in/out, see SolveRequest)
-//	GET  /matrices        per-matrix service stats (JSON, see MatrixStats)
-//	GET  /healthz         200 while serving, 503 once draining
+//	POST /solve/{matrix}   solve one RHS (JSON in/out, see SolveRequest)
+//	GET  /matrices         per-matrix service stats (JSON, see MatrixStats)
+//	GET  /healthz          service health; ?verbose=1 adds per-matrix SLO detail
+//	GET  /debug/requests   recent request spans (?format=table|chrome)
+//	GET  /debug/flight     flight-recorder dump (?format=text|json)
 //
 // Any other path falls through to Config.Obs when configured (the
 // observability mux: /metrics, /debug/pprof, ...) and 404s otherwise.
@@ -56,17 +67,38 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /solve/{matrix}", d.handleSolve)
 	mux.HandleFunc("GET /matrices", d.handleMatrices)
 	mux.HandleFunc("GET /healthz", d.handleHealth)
+	mux.HandleFunc("GET /debug/requests", d.handleRequests)
+	mux.HandleFunc("GET /debug/flight", d.handleFlight)
 	if d.cfg.Obs != nil {
 		mux.Handle("/", d.cfg.Obs)
 	}
 	return mux
 }
 
+// IndexLines enumerates every endpoint Handler serves, formatted for
+// ObsOptions.Index — hosts mounting an ObsHandler behind the daemon pass
+// this instead of hand-maintaining the list, so the index page can never
+// drift from the actual service surface.
+func IndexLines() []string {
+	return []string{
+		"POST /solve/{matrix}  solve one right-hand side (JSON)",
+		"/matrices       per-matrix service stats (JSON)",
+		"/healthz        service health (?verbose=1 for per-matrix SLO detail)",
+		"/debug/requests recent request spans (?format=table|chrome)",
+		"/debug/flight   flight recorder dump (?format=text|json)",
+	}
+}
+
 func (d *Daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// The span starts before body decode so admit time covers request
+	// parsing; an incoming X-Request-Id is honored so clients can
+	// correlate retries across services.
+	sp := reqtrace.StartSpan(r.Header.Get("X-Request-Id"))
+	w.Header().Set("X-Request-Id", sp.ID)
 	var req SolveRequest
 	body := http.MaxBytesReader(w, r.Body, maxSolveBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding solve request: %w", err))
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding solve request: %w", err), sp.ID)
 		return
 	}
 	ctx := r.Context()
@@ -75,30 +107,102 @@ func (d *Daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	x, err := d.Solve(ctx, r.PathValue("matrix"), req.B)
+	x, err := d.SolveSpan(ctx, r.PathValue("matrix"), req.B, sp)
+	setPhaseHeaders(w.Header(), sp.Record())
 	if err != nil {
-		writeSolveError(w, err)
+		writeSolveError(w, err, sp.ID)
 		return
 	}
 	writeJSON(w, http.StatusOK, SolveResponse{X: x})
+}
+
+// setPhaseHeaders exposes the finished span's phase attribution as
+// response headers, so load generators can collect per-phase latency
+// without a second round trip to /debug/requests.
+func setPhaseHeaders(h http.Header, rec reqtrace.Record) {
+	h.Set("X-Phase-Queue-Wait-Ns", strconv.FormatInt(rec.QueueWait.Nanoseconds(), 10))
+	h.Set("X-Phase-Coalesce-Ns", strconv.FormatInt(rec.Coalesce.Nanoseconds(), 10))
+	h.Set("X-Phase-Solve-Ns", strconv.FormatInt(rec.Solve.Nanoseconds(), 10))
+	h.Set("X-Phase-Total-Ns", strconv.FormatInt(rec.Total.Nanoseconds(), 10))
+	h.Set("X-Batch", strconv.FormatInt(int64(rec.Batch), 10))
 }
 
 func (d *Daemon) handleMatrices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d.Stats())
 }
 
+// HealthResponse is the /healthz?verbose=1 body: the folded service
+// state plus each matrix's SLO standing and queue fill.
+type HealthResponse struct {
+	State    string      `json:"state"`
+	Matrices []SLOStatus `json:"matrices"`
+}
+
 func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if d.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining)
+	state := d.Health()
+	if r.URL.Query().Get("verbose") != "" {
+		writeJSON(w, healthStatusCode(state), HealthResponse{State: state, Matrices: d.SLOStatuses()})
+		return
+	}
+	if state == "draining" {
+		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining, "")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.WriteHeader(healthStatusCode(state))
+	fmt.Fprintln(w, state)
+}
+
+// healthStatusCode degrades before the queue hard-fails: "degraded" is
+// still 200 (serve, but the SLO budget is burning), "critical" is 503 so
+// load balancers rotate traffic away while requests still succeed.
+func healthStatusCode(state string) int {
+	switch state {
+	case "draining", "critical":
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusOK
+	}
+}
+
+func (d *Daemon) handleRequests(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "", "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := d.rec.WriteTable(w); err != nil {
+			http.Error(w, "requests write failed: "+err.Error(), http.StatusInternalServerError)
+		}
+	case "chrome", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.rec.WriteChromeTrace(w); err != nil {
+			http.Error(w, "requests write failed: "+err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "unknown format (want table or chrome)", http.StatusBadRequest)
+	}
+}
+
+func (d *Daemon) handleFlight(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := d.rec.WriteFlight(w); err != nil {
+			http.Error(w, "flight write failed: "+err.Error(), http.StatusInternalServerError)
+		}
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.rec.WriteFlightJSON(w); err != nil {
+			http.Error(w, "flight write failed: "+err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "unknown format (want text or json)", http.StatusBadRequest)
+	}
 }
 
 // writeSolveError is the error taxonomy in one place: typed daemon and
-// solver errors become distinct statuses and kinds.
-func writeSolveError(w http.ResponseWriter, err error) {
+// solver errors become distinct statuses and kinds, and every body
+// carries the request id for flight-recorder correlation.
+func writeSolveError(w http.ResponseWriter, err error, requestID string) {
 	var (
 		overload *OverloadError
 		dim      *DimensionError
@@ -115,31 +219,34 @@ func writeSolveError(w http.ResponseWriter, err error) {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-		writeError(w, http.StatusTooManyRequests, "overload", err)
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error: err.Error(), Kind: "overload", RequestID: requestID,
+			QueueDepth: overload.Queued, QueueCapacity: overload.Depth,
+		})
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "draining", err)
+		writeError(w, http.StatusServiceUnavailable, "draining", err, requestID)
 	case errors.Is(err, ErrUnknownMatrix):
-		writeError(w, http.StatusNotFound, "unknown_matrix", err)
+		writeError(w, http.StatusNotFound, "unknown_matrix", err, requestID)
 	case errors.As(err, &dim):
-		writeError(w, http.StatusBadRequest, "dimension", err)
+		writeError(w, http.StatusBadRequest, "dimension", err, requestID)
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "deadline", err)
+		writeError(w, http.StatusGatewayTimeout, "deadline", err, requestID)
 	case errors.Is(err, context.Canceled):
 		// The client usually went away; answer whoever is still there.
-		writeError(w, http.StatusRequestTimeout, "canceled", err)
+		writeError(w, http.StatusRequestTimeout, "canceled", err, requestID)
 	case errors.As(err, &stall):
-		writeError(w, http.StatusServiceUnavailable, "stall", err)
+		writeError(w, http.StatusServiceUnavailable, "stall", err, requestID)
 	case errors.As(err, &residual):
-		writeError(w, http.StatusInternalServerError, "residual", err)
+		writeError(w, http.StatusInternalServerError, "residual", err, requestID)
 	case errors.As(err, &fault):
-		writeError(w, http.StatusInternalServerError, "fault", err)
+		writeError(w, http.StatusInternalServerError, "fault", err, requestID)
 	default:
-		writeError(w, http.StatusInternalServerError, "internal", err)
+		writeError(w, http.StatusInternalServerError, "internal", err, requestID)
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, kind string, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
+func writeError(w http.ResponseWriter, status int, kind string, err error, requestID string) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind, RequestID: requestID})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -42,7 +43,9 @@ type LoadConfig struct {
 // request's wall time, sorted ascending, ready for percentile cuts;
 // Coalesce is the served matrix's mean RHS-per-batch over exactly this
 // run (computed from /matrices counter deltas, so a long-lived daemon's
-// history does not dilute it).
+// history does not dilute it). The phase slices (also sorted) attribute
+// each successful request's latency via the daemon's X-Phase-* response
+// headers; they are empty against a server that does not send them.
 type LoadResult struct {
 	Matrix    string
 	Rows      int
@@ -54,6 +57,10 @@ type LoadResult struct {
 	Coalesce  float64
 	Elapsed   time.Duration
 	Latencies []time.Duration
+
+	QueueWaits []time.Duration // X-Phase-Queue-Wait-Ns per OK request
+	Coalesces  []time.Duration // X-Phase-Coalesce-Ns per OK request
+	Solves     []time.Duration // X-Phase-Solve-Ns per OK request
 }
 
 // RunLoad runs the closed-loop load and classifies every response.
@@ -90,9 +97,12 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	var (
-		mu   sync.Mutex
-		lats []time.Duration
-		wg   sync.WaitGroup
+		mu     sync.Mutex
+		lats   []time.Duration
+		waits  []time.Duration
+		holds  []time.Duration
+		solves []time.Duration
+		wg     sync.WaitGroup
 	)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
 	defer cancel()
@@ -102,12 +112,12 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg.Add(1)
 		go func(body []byte) {
 			defer wg.Done()
-			var mine []time.Duration
+			var mine, myWaits, myHolds, mySolves []time.Duration
 			var requests, ok, shed, deadlined, failed int64
 			for ctx.Err() == nil {
 				requests++
 				t0 := time.Now()
-				status, err := postSolve(ctx, client, url, body)
+				status, phases, err := postSolve(ctx, client, url, body)
 				switch {
 				case err != nil:
 					// A transport error caused by the run ending is not a
@@ -120,6 +130,11 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				case status == http.StatusOK:
 					ok++
 					mine = append(mine, time.Since(t0))
+					if phases.ok {
+						myWaits = append(myWaits, phases.queueWait)
+						myHolds = append(myHolds, phases.coalesce)
+						mySolves = append(mySolves, phases.solve)
+					}
 				case status == http.StatusTooManyRequests:
 					shed++
 				case status == http.StatusGatewayTimeout || status == http.StatusRequestTimeout:
@@ -135,13 +150,21 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			res.Deadlined += deadlined
 			res.Failed += failed
 			lats = append(lats, mine...)
+			waits = append(waits, myWaits...)
+			holds = append(holds, myHolds...)
+			solves = append(solves, mySolves...)
 			mu.Unlock()
 		}(bodies[c])
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	for _, s := range [][]time.Duration{lats, waits, holds, solves} {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
 	res.Latencies = lats
+	res.QueueWaits = waits
+	res.Coalesces = holds
+	res.Solves = solves
 
 	after, err := fetchStats(client, cfg.URL, cfg.Matrix)
 	if err != nil {
@@ -153,21 +176,46 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	return res, nil
 }
 
-func postSolve(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+// phaseSample is one response's phase attribution, parsed from the
+// daemon's X-Phase-* headers; ok reports whether the server sent them.
+type phaseSample struct {
+	queueWait, coalesce, solve time.Duration
+	ok                         bool
+}
+
+func postSolve(ctx context.Context, client *http.Client, url string, body []byte) (int, phaseSample, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, phaseSample{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, phaseSample{}, err
 	}
 	// Drain so the connection is reused; the solution itself is not
 	// checked here — correctness is the solver tests' job, load is ours.
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, parsePhases(resp.Header), nil
+}
+
+// parsePhases reads the per-phase attribution headers. All three must
+// parse for the sample to count — a partial sample would skew one
+// phase's percentiles against the others'.
+func parsePhases(h http.Header) phaseSample {
+	qw, err1 := strconv.ParseInt(h.Get("X-Phase-Queue-Wait-Ns"), 10, 64)
+	co, err2 := strconv.ParseInt(h.Get("X-Phase-Coalesce-Ns"), 10, 64)
+	so, err3 := strconv.ParseInt(h.Get("X-Phase-Solve-Ns"), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return phaseSample{}
+	}
+	return phaseSample{
+		queueWait: time.Duration(qw),
+		coalesce:  time.Duration(co),
+		solve:     time.Duration(so),
+		ok:        true,
+	}
 }
 
 func fetchStats(client *http.Client, baseURL, matrix string) (MatrixStats, error) {

@@ -19,4 +19,14 @@ var (
 	mPanics     = metrics.Default.Counter("daemon_panics")
 	mErrors     = metrics.Default.Counter("daemon_solve_errors")
 	mWait       = metrics.Default.Histogram("daemon_wait_ns")
+
+	// Phase attribution (fed from finished request records): the
+	// coalesce-window hold, the batch solve, and end-to-end latency.
+	// daemon_wait_ns above is the queue-wait counterpart observed at
+	// dequeue. daemon_flight_snapshots counts automatic black-box
+	// captures (fault, stall, overload burst).
+	mCoalesceNs = metrics.Default.Histogram("daemon_coalesce_ns")
+	mSolveNs    = metrics.Default.Histogram("daemon_solve_ns")
+	mTotalNs    = metrics.Default.Histogram("daemon_request_ns")
+	mSnapshots  = metrics.Default.Counter("daemon_flight_snapshots")
 )

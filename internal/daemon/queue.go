@@ -8,6 +8,7 @@ import (
 
 	"github.com/sss-lab/blocksptrsv/internal/block"
 	"github.com/sss-lab/blocksptrsv/internal/faultinject"
+	"github.com/sss-lab/blocksptrsv/internal/reqtrace"
 )
 
 // The admission queue and its workers: one bounded channel per matrix,
@@ -18,12 +19,15 @@ import (
 
 // request is one admitted right-hand side. done is buffered so workers
 // never block resolving a request whose submitter has not reached its
-// receive yet.
+// receive yet. sp is the request's span, marked by whichever goroutine
+// owns the request at each phase boundary (always non-nil: every request
+// is built by admit, which guarantees a span).
 type request struct {
 	ctx  context.Context
 	b, x []float64
 	enq  time.Time
 	done chan error
+	sp   *reqtrace.Span
 }
 
 // pipeline is the per-matrix service state: the shared preprocessed
@@ -35,6 +39,10 @@ type pipeline struct {
 	queue    chan *request
 	window   time.Duration
 	maxBatch int
+
+	// slo is the matrix's rolling-window objective monitor, observed at
+	// request finish.
+	slo *sloMonitor
 
 	batches   atomic.Int64 // batch solves completed
 	batched   atomic.Int64 // right-hand sides those batches carried
@@ -70,6 +78,7 @@ func (d *Daemon) worker(p *pipeline) {
 	w := &workerState{p: p, ses: p.solver.NewSession()}
 	for first := range p.queue {
 		mQueueDepth.Add(-1)
+		first.sp.MarkDequeued()
 		w.solveBatch(p.gather(first))
 	}
 }
@@ -94,6 +103,7 @@ func (p *pipeline) gather(first *request) []*request {
 				return batch
 			}
 			mQueueDepth.Add(-1)
+			r.sp.MarkDequeued()
 			batch = append(batch, r)
 			continue
 		default:
@@ -112,6 +122,7 @@ func (p *pipeline) gather(first *request) []*request {
 				return batch
 			}
 			mQueueDepth.Add(-1)
+			r.sp.MarkDequeued()
 			batch = append(batch, r)
 		case <-t.C:
 			return batch
@@ -137,6 +148,7 @@ func (w *workerState) solveBatch(batch []*request) {
 		if err := r.ctx.Err(); err != nil {
 			p.expired.Add(1)
 			mExpired.Inc()
+			r.sp.MarkExpired()
 			r.done <- err
 			continue
 		}
@@ -146,15 +158,22 @@ func (w *workerState) solveBatch(batch []*request) {
 	if len(live) == 0 {
 		return
 	}
+	for _, r := range live {
+		r.sp.MarkSolveStart(len(live))
+	}
 	start := time.Now()
 	err := w.solveLive(live)
 	p.lastNs.Store(time.Since(start).Nanoseconds())
 	if err == nil {
+		// One solve id covers the whole coalesced batch: every member's
+		// span links to the same per-step trace records.
+		sid := w.ses.Stats().LastTraceID
 		p.batches.Add(1)
 		mBatches.Inc()
 		p.batched.Add(int64(len(live)))
 		mBatchedRHS.Add(int64(len(live)))
 		for _, r := range live {
+			r.sp.MarkSolveEnd(sid)
 			r.done <- nil
 		}
 		return
@@ -165,6 +184,7 @@ func (w *workerState) solveBatch(batch []*request) {
 	// request cannot take its neighbours down with it.
 	for _, r := range live {
 		rerr := w.solveOne(r)
+		r.sp.MarkSolveEnd(w.ses.Stats().LastTraceID)
 		if rerr != nil {
 			p.errors.Add(1)
 			mErrors.Inc()

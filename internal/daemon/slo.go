@@ -1,0 +1,238 @@
+package daemon
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sss-lab/blocksptrsv/internal/metrics"
+)
+
+// The SLO monitor: rolling-window latency and error objectives per
+// matrix, folded into burn rates (observed violation fraction over the
+// budgeted violation fraction). Burn 1.0 means the matrix is consuming
+// its budget exactly as fast as the objective allows; burn 4.0 means a
+// quarter of the window's budget is gone already. Health degrades on
+// burn ≥ 1 and turns critical on burn ≥ 4, both well before the bounded
+// queue starts hard-failing requests with 429s — the monitor is the
+// early-warning layer in front of the backpressure layer.
+
+// SLOConfig is the per-matrix service objective (Config.SLO). The zero
+// value selects the documented defaults.
+type SLOConfig struct {
+	// Latency is the per-request latency objective (default 50ms): a
+	// request slower than this is an objective violation even if it
+	// succeeds.
+	Latency time.Duration
+	// Target is the fraction of successful requests that must meet the
+	// latency objective (default 0.99, i.e. a 1% slow budget).
+	Target float64
+	// ErrorBudget is the allowed failure fraction — shed, expired,
+	// faulted, any non-ok outcome (default 0.01).
+	ErrorBudget float64
+	// Window is the rolling evaluation window (default 60s).
+	Window time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Latency <= 0 {
+		c.Latency = 50 * time.Millisecond
+	}
+	if c.Target <= 0 || c.Target >= 1 {
+		c.Target = 0.99
+	}
+	if c.ErrorBudget <= 0 || c.ErrorBudget >= 1 {
+		c.ErrorBudget = 0.01
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	return c
+}
+
+// sloBuckets is the rolling-window resolution: the window is divided
+// into this many rotating buckets, so expiry is O(1) per observation and
+// the effective window wobbles by at most one bucket width.
+const sloBuckets = 30
+
+// sloMinSamples is the minimum window population before the monitor is
+// willing to declare a matrix degraded: one failed request out of two
+// must not flip a freshly started daemon to critical.
+const sloMinSamples = 20
+
+type sloBucket struct {
+	period             int64 // bucket timestamp in bucketDur units; stale entries are reset on write
+	total, slow, fails int64
+}
+
+// sloMonitor tracks one matrix's objectives. Observations land on the
+// request-finish path (submitter goroutine, after the solve), so a short
+// mutex is fine — the solve path itself never touches the monitor.
+type sloMonitor struct {
+	cfg       SLOConfig
+	bucketDur time.Duration
+	gLat      *metrics.Gauge // latency burn rate, permille
+	gErr      *metrics.Gauge // error burn rate, permille
+
+	mu      sync.Mutex
+	buckets [sloBuckets]sloBucket
+}
+
+func newSLOMonitor(matrix string, cfg SLOConfig) *sloMonitor {
+	cfg = cfg.withDefaults()
+	name := sanitizeMetricName(matrix)
+	return &sloMonitor{
+		cfg:       cfg,
+		bucketDur: cfg.Window / sloBuckets,
+		gLat:      metrics.Default.Gauge("daemon_slo_latency_burn_permille_" + name),
+		gErr:      metrics.Default.Gauge("daemon_slo_error_burn_permille_" + name),
+	}
+}
+
+// sanitizeMetricName maps a matrix name into the Prometheus metric-name
+// alphabet (the registry has no labels, so the matrix rides in the name).
+func sanitizeMetricName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// observe folds one finished request into the current bucket and
+// refreshes the burn gauges.
+func (m *sloMonitor) observe(total time.Duration, failed bool, now time.Time) {
+	period := now.UnixNano() / int64(m.bucketDur)
+	m.mu.Lock()
+	b := &m.buckets[period%sloBuckets]
+	if b.period != period {
+		*b = sloBucket{period: period}
+	}
+	b.total++
+	if failed {
+		b.fails++
+	} else if total > m.cfg.Latency {
+		b.slow++
+	}
+	latBurn, errBurn, _ := m.burnsLocked(period)
+	m.mu.Unlock()
+	m.gLat.Set(int64(latBurn * 1000))
+	m.gErr.Set(int64(errBurn * 1000))
+}
+
+// burnsLocked sums the live window. Caller holds mu.
+func (m *sloMonitor) burnsLocked(curPeriod int64) (latBurn, errBurn float64, win sloBucket) {
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		if b.period > curPeriod-sloBuckets && b.period <= curPeriod {
+			win.total += b.total
+			win.slow += b.slow
+			win.fails += b.fails
+		}
+	}
+	if win.total == 0 {
+		return 0, 0, win
+	}
+	if ok := win.total - win.fails; ok > 0 {
+		latBurn = (float64(win.slow) / float64(ok)) / (1 - m.cfg.Target)
+	}
+	errBurn = (float64(win.fails) / float64(win.total)) / m.cfg.ErrorBudget
+	return latBurn, errBurn, win
+}
+
+// SLOStatus is one matrix's objective standing over the rolling window —
+// the /healthz?verbose=1 payload.
+type SLOStatus struct {
+	Matrix string `json:"matrix"`
+	// State is "ok", "degraded" (either burn ≥ 1) or "critical" (either
+	// burn ≥ 4); a window below sloMinSamples requests is always "ok".
+	State string `json:"state"`
+	// Requests/Slow/Failed populate the window the burns were computed
+	// over.
+	Requests int64 `json:"requests"`
+	Slow     int64 `json:"slow"`
+	Failed   int64 `json:"failed"`
+	// LatencyBurn and ErrorBurn are the burn rates (1.0 = consuming the
+	// budget exactly at the objective's rate).
+	LatencyBurn float64 `json:"latency_burn"`
+	ErrorBurn   float64 `json:"error_burn"`
+	// The objective itself, echoed for dashboards.
+	LatencyObjectiveMS float64 `json:"latency_objective_ms"`
+	Target             float64 `json:"target"`
+	ErrorBudget        float64 `json:"error_budget"`
+	WindowS            float64 `json:"window_s"`
+	// Queued/Capacity snapshot the admission queue alongside the SLO
+	// standing, so the verbose health view shows both layers at once.
+	Queued   int `json:"queued"`
+	Capacity int `json:"capacity"`
+}
+
+// status snapshots the monitor at now.
+func (m *sloMonitor) status(matrix string, now time.Time) SLOStatus {
+	period := now.UnixNano() / int64(m.bucketDur)
+	m.mu.Lock()
+	latBurn, errBurn, win := m.burnsLocked(period)
+	m.mu.Unlock()
+	st := SLOStatus{
+		Matrix:             matrix,
+		State:              "ok",
+		Requests:           win.total,
+		Slow:               win.slow,
+		Failed:             win.fails,
+		LatencyBurn:        latBurn,
+		ErrorBurn:          errBurn,
+		LatencyObjectiveMS: float64(m.cfg.Latency) / float64(time.Millisecond),
+		Target:             m.cfg.Target,
+		ErrorBudget:        m.cfg.ErrorBudget,
+		WindowS:            m.cfg.Window.Seconds(),
+	}
+	if win.total >= sloMinSamples {
+		switch {
+		case latBurn >= 4 || errBurn >= 4:
+			st.State = "critical"
+		case latBurn >= 1 || errBurn >= 1:
+			st.State = "degraded"
+		}
+	}
+	return st
+}
+
+// SLOStatuses snapshots every matrix's objective standing, sorted by
+// name (the order Stats uses).
+func (d *Daemon) SLOStatuses() []SLOStatus {
+	now := time.Now()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]SLOStatus, 0, len(d.pipes))
+	for _, p := range d.pipes {
+		st := p.slo.status(p.name, now)
+		st.Queued = len(p.queue)
+		st.Capacity = cap(p.queue)
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Matrix < out[j].Matrix })
+	return out
+}
+
+// Health folds the per-matrix states into one service state: "draining"
+// once Shutdown began, else the worst matrix state.
+func (d *Daemon) Health() string {
+	if d.Draining() {
+		return "draining"
+	}
+	worst := "ok"
+	for _, st := range d.SLOStatuses() {
+		switch st.State {
+		case "critical":
+			return "critical"
+		case "degraded":
+			worst = "degraded"
+		}
+	}
+	return worst
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 
 	"github.com/sss-lab/blocksptrsv/internal/metrics"
 )
@@ -38,10 +39,24 @@ type ObsOptions struct {
 	// Options.Trace) to see live solves.
 	Trace *TraceRecorder
 	// Index lists extra endpoints the host serves around this handler
-	// (e.g. a daemon's /solve/{matrix}), advertised verbatim on the
-	// index page so `curl /` still enumerates the whole surface when
-	// the ObsHandler is mounted as a fallback mux.
+	// (e.g. daemon.IndexLines()), advertised on the index page so
+	// `curl /` still enumerates the whole surface when the ObsHandler is
+	// mounted as a fallback mux. Lines whose first /-rooted path token
+	// repeats a built-in endpoint or an earlier Index line are dropped,
+	// so every endpoint appears exactly once however the host assembles
+	// the list.
 	Index []string
+}
+
+// indexPath extracts the first /-rooted token of an index line — the key
+// the index page's duplicate suppression works on.
+func indexPath(line string) string {
+	for _, f := range strings.Fields(line) {
+		if strings.HasPrefix(f, "/") {
+			return f
+		}
+	}
+	return ""
 }
 
 // ObsHandler returns an http.Handler exposing the library's observability
@@ -69,7 +84,17 @@ func ObsHandler(o ObsOptions) http.Handler {
 		fmt.Fprintln(w, "  /debug/pprof/   pprof profiles")
 		fmt.Fprintln(w, "  /explain        execution plan (if configured)")
 		fmt.Fprintln(w, "  /trace          Chrome trace JSON of recent solves (if configured; ?format=table|summary)")
+		seen := map[string]bool{
+			"/": true, "/metrics": true, "/debug/vars": true,
+			"/debug/pprof/": true, "/explain": true, "/trace": true,
+		}
 		for _, line := range o.Index {
+			if p := indexPath(line); p != "" {
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+			}
 			fmt.Fprintln(w, "  "+line)
 		}
 	})

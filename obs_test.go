@@ -10,6 +10,7 @@ import (
 
 	sptrsv "github.com/sss-lab/blocksptrsv"
 	"github.com/sss-lab/blocksptrsv/internal/block"
+	"github.com/sss-lab/blocksptrsv/internal/daemon"
 	"github.com/sss-lab/blocksptrsv/internal/gen"
 	"github.com/sss-lab/blocksptrsv/internal/kernels"
 	"github.com/sss-lab/blocksptrsv/internal/metrics"
@@ -209,5 +210,46 @@ func TestObsHandlerUnconfigured(t *testing.T) {
 	}
 	if res, _ := get(t, h, "/metrics"); res.StatusCode != http.StatusOK {
 		t.Fatalf("GET /metrics = %d", res.StatusCode)
+	}
+}
+
+// TestObsIndexListsEveryEndpointOnce is the index audit: with the
+// daemon's IndexLines wired in, the index page advertises the whole
+// service surface — the daemon endpoints (/debug/requests, /debug/flight
+// among them) and the built-in observability endpoints — and no path
+// appears twice, however redundantly the host assembles the Index list.
+func TestObsIndexListsEveryEndpointOnce(t *testing.T) {
+	lines := daemon.IndexLines()
+	// A host that redundantly re-lists built-ins and repeats its own
+	// lines must still produce a duplicate-free index.
+	lines = append(lines, "/metrics        stale duplicate of a built-in")
+	lines = append(lines, daemon.IndexLines()...)
+	h := sptrsv.ObsHandler(sptrsv.ObsOptions{Index: lines})
+
+	res, body := get(t, h, "/")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET / = %d", res.StatusCode)
+	}
+	want := []string{
+		"/metrics", "/debug/vars", "/debug/pprof/", "/explain", "/trace",
+		"/solve/{matrix}", "/matrices", "/healthz", "/debug/requests", "/debug/flight",
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(body, "\n") {
+		for _, f := range strings.Fields(line) {
+			if strings.HasPrefix(f, "/") {
+				counts[f]++
+				break
+			}
+		}
+	}
+	for _, path := range want {
+		if counts[path] != 1 {
+			t.Fatalf("index lists %q %d times, want exactly once:\n%s", path, counts[path], body)
+		}
+	}
+	// Nothing beyond the audited surface sneaks in either.
+	if got := len(counts); got != len(want) {
+		t.Fatalf("index advertises %d paths, audit covers %d:\n%s", got, len(want), body)
 	}
 }
