@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint bcecheck fuzz-short daemon-smoke cachecheck startup
+.PHONY: ci vet build test race chaos cover bench-launch bench-json perfgate lint bcecheck inlcheck escapecheck lint-update fuzz-short daemon-smoke cachecheck startup
 
-ci: vet build test race chaos daemon-smoke perfgate lint bcecheck fuzz-short cachecheck
+ci: vet build test race chaos daemon-smoke perfgate lint bcecheck inlcheck escapecheck fuzz-short cachecheck
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,27 @@ lint:
 bcecheck:
 	$(GO) run ./cmd/sptrsvlint -bce
 
+# Compiler-witness gates (DESIGN.md §6.13). inlcheck recompiles the hot
+# packages with -gcflags=-m=2 and fails if any //sptrsv:hotpath function
+# stopped inlining without a reviewed internal/lint/inl_allow.txt entry
+# carrying the compiler's reason verbatim. escapecheck reads the same
+# audit and fails on hot-path heap escapes beyond the sanctioned
+# per-launch publication costs.
+inlcheck:
+	$(GO) run ./cmd/sptrsvlint -inl
+
+escapecheck:
+	$(GO) run ./cmd/sptrsvlint -escape
+
+# Regenerate both compiler-witness allowlists from the current tree, then
+# fail if they changed — a dirty result means an unreviewed drift between
+# the committed allowlists and what the compiler actually does. Commit
+# the regenerated files after reviewing the diff.
+lint-update:
+	$(GO) run ./cmd/sptrsvlint -bce -bce-update
+	$(GO) run ./cmd/sptrsvlint -inl -inl-update
+	git diff --exit-code internal/lint/bce_allow.txt internal/lint/inl_allow.txt
+
 # Short deterministic-budget fuzzing pass over the two input parsers (the
 # Matrix Market reader and the lint harness's want/ignore comment parsers)
 # plus the differential kernel-equivalence fuzzer, which solves random
@@ -69,12 +90,14 @@ COVER_FLOOR_BLOCK     ?= 80
 COVER_FLOOR_EXEC      ?= 60
 COVER_FLOOR_PLANCACHE ?= 80
 COVER_FLOOR_REQTRACE  ?= 85
+COVER_FLOOR_LINT      ?= 75
 
 cover:
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-block.out ./internal/block
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-exec.out ./internal/exec
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-plancache.out ./internal/plancache
 	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-reqtrace.out ./internal/reqtrace
+	$(GO) test -coverprofile=/tmp/blocksptrsv-cover-lint.out ./internal/lint
 	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-block.out | awk '$$1=="total:" \
 		{ pct=$$3; sub(/%/,"",pct); printf "internal/block coverage: %s (floor $(COVER_FLOOR_BLOCK)%%)\n", $$3; \
 		  if (pct+0 < $(COVER_FLOOR_BLOCK)) exit 1 }'
@@ -87,6 +110,9 @@ cover:
 	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-reqtrace.out | awk '$$1=="total:" \
 		{ pct=$$3; sub(/%/,"",pct); printf "internal/reqtrace coverage: %s (floor $(COVER_FLOOR_REQTRACE)%%)\n", $$3; \
 		  if (pct+0 < $(COVER_FLOOR_REQTRACE)) exit 1 }'
+	@$(GO) tool cover -func=/tmp/blocksptrsv-cover-lint.out | awk '$$1=="total:" \
+		{ pct=$$3; sub(/%/,"",pct); printf "internal/lint coverage: %s (floor $(COVER_FLOOR_LINT)%%)\n", $$3; \
+		  if (pct+0 < $(COVER_FLOOR_LINT)) exit 1 }'
 
 # Machine-readable perf trajectory (DESIGN.md §6.7). bench-json runs the
 # full canonical suite and refreshes the committed baseline; run it on a

@@ -1,13 +1,16 @@
 // Command sptrsvlint runs the project's static-analysis suite
 // (DESIGN.md §6.8) over the module: hotpathalloc, atomicmix, spinguard,
-// nowallclock and errdrop. It loads and type-checks the packages named
-// by its arguments (default ./...) and prints one deterministic
-// file:line:col: analyzer: message diagnostic per finding.
+// nowallclock, errdrop, golifecycle and ctxflow. It loads and
+// type-checks the packages named by its arguments (default ./...) and
+// prints one deterministic file:line:col: analyzer: message diagnostic
+// per finding.
 //
 // Usage:
 //
 //	sptrsvlint [-json] [-only analyzer,analyzer] [-C dir] [packages]
 //	sptrsvlint -bce [-bce-allow file] [-bce-update] [-C dir] [packages]
+//	sptrsvlint -inl [-inl-allow file] [-inl-update] [-C dir] [packages]
+//	sptrsvlint -escape [-C dir] [packages]
 //
 // The -bce mode checks the bounds-check-elimination invariant instead
 // (DESIGN.md §6.9): it recompiles the packages (default: the hot-path
@@ -15,6 +18,14 @@
 // when any //sptrsv:hotpath function carries more surviving bounds checks
 // than the committed allowlist permits. -bce-update rewrites the
 // allowlist from the current audit.
+//
+// The -inl and -escape modes are the compiler-witness gates (DESIGN.md
+// §6.13). Both recompile the packages with -gcflags=-m=2 and share one
+// audit when combined. -inl requires every //sptrsv:hotpath function to
+// inline or carry a reviewed inl_allow.txt entry recording the
+// compiler's cannot-inline reason verbatim (-inl-update regenerates the
+// file); -escape requires hot-path functions to have zero heap escapes
+// beyond the sanctioned per-launch publication costs.
 //
 // Exit codes: 0 clean, 1 findings, 2 load/usage error.
 package main
@@ -44,12 +55,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bce := fs.Bool("bce", false, "check the hot-path bounds-check-elimination invariant instead of running analyzers")
 	bceAllow := fs.String("bce-allow", "internal/lint/bce_allow.txt", "BCE allowlist path, relative to -C")
 	bceUpdate := fs.Bool("bce-update", false, "with -bce: rewrite the allowlist from the current audit")
+	inl := fs.Bool("inl", false, "check the hot-path inlining invariant (compiler -m=2 witness) instead of running analyzers")
+	inlAllow := fs.String("inl-allow", "internal/lint/inl_allow.txt", "inlining allowlist path, relative to -C")
+	inlUpdate := fs.Bool("inl-update", false, "with -inl: rewrite the allowlist from the current audit")
+	escape := fs.Bool("escape", false, "check the hot-path zero-escape invariant (compiler -m=2 witness) instead of running analyzers")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *bce {
 		return runBCE(*dir, *bceAllow, *bceUpdate, fs.Args(), stdout, stderr)
+	}
+	if *inl || *escape {
+		return runM2(*dir, *inl, *escape, *inlAllow, *inlUpdate, fs.Args(), stdout, stderr)
 	}
 
 	analyzers := lint.All
@@ -138,6 +156,90 @@ func runBCE(dir, allowPath string, update bool, pkgs []string, stdout, stderr io
 	return 0
 }
 
+// m2DefaultPkgs are the packages the compiler-witness gates audit: every
+// package with //sptrsv:hotpath functions. internal/metrics joins the
+// BCE set because its hot-path counters are gated on inlining, not on
+// bounds checks.
+var m2DefaultPkgs = append(append([]string{}, bceDefaultPkgs...), "./internal/metrics")
+
+// runM2 drives the -inl and/or -escape gates off one shared -m=2 audit.
+func runM2(dir string, inl, escape bool, allowPath string, update bool, pkgs []string, stdout, stderr io.Writer) int {
+	if len(pkgs) == 0 {
+		pkgs = m2DefaultPkgs
+	}
+	audit, err := lint.RunM2Audit(dir, pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptrsvlint: m2 audit: %v\n", err)
+		return 2
+	}
+	code := 0
+	if inl {
+		if c := runInl(dir, allowPath, update, pkgs, audit, stdout, stderr); c != 0 {
+			code = c
+		}
+	}
+	if escape && code != 2 {
+		if c := runEscape(dir, pkgs, audit, stdout, stderr); c > code {
+			code = c
+		}
+	}
+	return code
+}
+
+func runInl(dir, allowPath string, update bool, pkgs []string, audit *lint.M2Audit, stdout, stderr io.Writer) int {
+	funcs, err := lint.GroupInlVerdicts(dir, audit.Verdicts)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptrsvlint: %v\n", err)
+		return 2
+	}
+	allowFile := filepath.Join(dir, filepath.FromSlash(allowPath))
+	if update {
+		if err := os.WriteFile(allowFile, []byte(lint.FormatInlAllow(funcs)), 0o644); err != nil {
+			fmt.Fprintf(stderr, "sptrsvlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "inl: allowlist rewritten: %s\n", allowPath)
+		return 0
+	}
+	allow, err := lint.LoadInlAllow(allowFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptrsvlint: %v\n", err)
+		return 2
+	}
+	res := lint.CheckInl(funcs, allow)
+	for _, s := range res.Stale {
+		fmt.Fprintf(stdout, "inl: note: %s\n", s)
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(stdout, "inl: %s\n", v)
+	}
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(stdout, "inl: FAIL: %d hot-path function(s) stopped inlining (see DESIGN.md §6.13)\n", len(res.Violations))
+		return 1
+	}
+	fmt.Fprintf(stdout, "inl: ok: %d/%d hot-path function(s) inline across %s (rest allowlisted)\n",
+		res.Inlined, res.Hotpath, strings.Join(pkgs, " "))
+	return 0
+}
+
+func runEscape(dir string, pkgs []string, audit *lint.M2Audit, stdout, stderr io.Writer) int {
+	res, err := lint.CheckEscapes(dir, audit.Escapes)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptrsvlint: %v\n", err)
+		return 2
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(stdout, "escape: %s\n", v)
+	}
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(stdout, "escape: FAIL: %d unsanctioned heap escape(s) in hot-path functions (see DESIGN.md §6.13)\n", len(res.Violations))
+		return 1
+	}
+	fmt.Fprintf(stdout, "escape: ok: no unsanctioned hot-path escapes across %s (%d sanctioned, %d suppressed)\n",
+		strings.Join(pkgs, " "), res.Sanctioned, res.Suppressed)
+	return 0
+}
+
 // jsonDiag is the stable JSON shape of one diagnostic.
 type jsonDiag struct {
 	File     string `json:"file"`
@@ -147,10 +249,21 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
+// jsonReport is the versioned envelope CI consumers parse. Schema is
+// bumped on any incompatible change to the findings shape; additive
+// fields do not bump it.
+type jsonReport struct {
+	Schema   int        `json:"schema"`
+	Findings []jsonDiag `json:"findings"`
+}
+
+// jsonSchemaVersion is the current -json envelope version.
+const jsonSchemaVersion = 1
+
 func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
-	out := make([]jsonDiag, 0, len(diags))
+	out := jsonReport{Schema: jsonSchemaVersion, Findings: make([]jsonDiag, 0, len(diags))}
 	for _, d := range diags {
-		out = append(out, jsonDiag{
+		out.Findings = append(out.Findings, jsonDiag{
 			File:     d.Pos.Filename,
 			Line:     d.Pos.Line,
 			Column:   d.Pos.Column,

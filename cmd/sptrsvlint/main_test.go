@@ -106,18 +106,21 @@ func TestJSONOutput(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}
-	var diags []jsonDiag
-	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
-		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout)
+	var report jsonReport
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("stdout is not a JSON report envelope: %v\n%s", err, stdout)
 	}
-	if len(diags) < 2 {
-		t.Fatalf("got %d diagnostics, want >= 2 (errdrop + spinguard)", len(diags))
+	if report.Schema != jsonSchemaVersion {
+		t.Errorf("schema = %d, want %d", report.Schema, jsonSchemaVersion)
+	}
+	if len(report.Findings) < 2 {
+		t.Fatalf("got %d findings, want >= 2 (errdrop + spinguard)", len(report.Findings))
 	}
 	seen := map[string]bool{}
-	for _, d := range diags {
+	for _, d := range report.Findings {
 		seen[d.Analyzer] = true
 		if d.File == "" || d.Line <= 0 || d.Message == "" {
-			t.Errorf("incomplete diagnostic: %+v", d)
+			t.Errorf("incomplete finding: %+v", d)
 		}
 	}
 	if !seen["errdrop"] || !seen["spinguard"] {
@@ -125,14 +128,18 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
-func TestJSONCleanIsEmptyArray(t *testing.T) {
+// TestJSONGolden pins the envelope byte shape consumers parse: a schema
+// field at version 1 and a findings array that is [] (not null) on a
+// clean run, so `jq .findings[]` works unconditionally.
+func TestJSONGolden(t *testing.T) {
 	dir := tmpModule(t)
 	code, stdout, _ := runLint(t, "-json", "-C", dir, "./clean/...")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	if strings.TrimSpace(stdout) != "[]" {
-		t.Errorf("clean -json output = %q, want []", stdout)
+	want := "{\n  \"schema\": 1,\n  \"findings\": []\n}\n"
+	if stdout != want {
+		t.Errorf("clean -json output = %q, want %q", stdout, want)
 	}
 }
 
@@ -158,5 +165,150 @@ func TestOnlyUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "unknown analyzer") {
 		t.Errorf("stderr = %q, want unknown analyzer message", stderr)
+	}
+	// The error must list every valid name so the fix is one copy-paste away.
+	for _, name := range []string{"hotpathalloc", "atomicmix", "spinguard", "nowallclock", "errdrop", "golifecycle", "ctxflow"} {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("stderr does not list analyzer %q: %q", name, stderr)
+		}
+	}
+}
+
+// tmpM2Module writes a throwaway module exercising the compiler-witness
+// gates: a package whose hot-path functions all inline, one whose
+// hot-path function cannot inline, one with an unsanctioned hot-path
+// heap escape, and one where the same escape carries a reviewed
+// suppression.
+func tmpM2Module(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/m2mod\n\ngo 1.24\n",
+		"inlok/inlok.go": `package inlok
+
+//sptrsv:hotpath
+func Double(x int) int {
+	return x * 2
+}
+`,
+		"inlbad/inlbad.go": `package inlbad
+
+var hook func()
+
+//sptrsv:hotpath
+func Deferred() {
+	defer hook()
+	hook()
+}
+`,
+		"esc/esc.go": `package esc
+
+//sptrsv:hotpath
+func Scratch(n int) []float64 {
+	return make([]float64, n)
+}
+`,
+		"escok/escok.go": `package escok
+
+//sptrsv:hotpath
+func Scratch(n int) []float64 {
+	//lint:ignore escapecheck reviewed per-call scratch buffer
+	return make([]float64, n)
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestInlGateClean(t *testing.T) {
+	dir := tmpM2Module(t)
+	code, stdout, stderr := runLint(t, "-inl", "-inl-allow", "inl_allow.txt", "-C", dir, "./inlok/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "inl: ok:") {
+		t.Errorf("stdout = %q, want an inl: ok summary", stdout)
+	}
+}
+
+func TestInlGateViolation(t *testing.T) {
+	dir := tmpM2Module(t)
+	code, stdout, stderr := runLint(t, "-inl", "-inl-allow", "inl_allow.txt", "-C", dir, "./inlbad/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	// The failure must carry the compiler's reason verbatim plus the
+	// actionable next steps: fix or allowlist, and where that is specified.
+	for _, needle := range []string{"Deferred", "unhandled op DEFER", "inl: FAIL", "DESIGN.md §6.13"} {
+		if !strings.Contains(stdout, needle) {
+			t.Errorf("stdout missing %q:\n%s", needle, stdout)
+		}
+	}
+}
+
+func TestInlGateUpdateAndRecheck(t *testing.T) {
+	dir := tmpM2Module(t)
+	code, stdout, stderr := runLint(t, "-inl", "-inl-update", "-inl-allow", "inl_allow.txt", "-C", dir, "./inlbad/...")
+	if code != 0 {
+		t.Fatalf("update exit = %d, want 0; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	allowFile := filepath.Join(dir, "inl_allow.txt")
+	first, err := os.ReadFile(allowFile)
+	if err != nil {
+		t.Fatalf("allowlist not written: %v", err)
+	}
+	if !strings.Contains(string(first), "unhandled op DEFER") {
+		t.Errorf("allowlist does not record the compiler reason verbatim:\n%s", first)
+	}
+
+	// With the allowlist in place the gate passes.
+	code, stdout, _ = runLint(t, "-inl", "-inl-allow", "inl_allow.txt", "-C", dir, "./inlbad/...")
+	if code != 0 {
+		t.Fatalf("recheck exit = %d, want 0; stdout=%q", code, stdout)
+	}
+
+	// Regeneration from the same tree is byte-identical.
+	if code, _, _ = runLint(t, "-inl", "-inl-update", "-inl-allow", "inl_allow.txt", "-C", dir, "./inlbad/..."); code != 0 {
+		t.Fatalf("second update exit = %d, want 0", code)
+	}
+	second, err := os.ReadFile(allowFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("allowlist regeneration is not byte-identical:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+func TestEscapeGateViolation(t *testing.T) {
+	dir := tmpM2Module(t)
+	code, stdout, stderr := runLint(t, "-escape", "-C", dir, "./esc/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	for _, needle := range []string{"Scratch", "make([]float64, n)", "escape: FAIL", "DESIGN.md §6.13"} {
+		if !strings.Contains(stdout, needle) {
+			t.Errorf("stdout missing %q:\n%s", needle, stdout)
+		}
+	}
+}
+
+func TestEscapeGateSuppressed(t *testing.T) {
+	dir := tmpM2Module(t)
+	code, stdout, stderr := runLint(t, "-escape", "-C", dir, "./escok/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "escape: ok:") || !strings.Contains(stdout, "1 suppressed") {
+		t.Errorf("stdout = %q, want escape: ok with one suppressed site", stdout)
 	}
 }

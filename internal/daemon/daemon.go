@@ -106,13 +106,19 @@ type Daemon struct {
 	// in (see Flight).
 	rec *reqtrace.Recorder
 
-	// mu guards pipes and closed against Shutdown. Admission holds the
-	// read side across its queue send, so close(queue) can never race a
-	// send: Shutdown's write lock waits out every in-flight admission.
-	mu     sync.RWMutex
-	pipes  map[string]*pipeline
-	closed bool
-	wg     sync.WaitGroup
+	// mu guards pipes, closed, and liveWorkers against Shutdown.
+	// Admission holds the read side across its queue send, so
+	// close(queue) can never race a send: Shutdown's write lock waits
+	// out every in-flight admission.
+	mu          sync.RWMutex
+	pipes       map[string]*pipeline
+	closed      bool
+	liveWorkers int
+	// drainDone is closed exactly once, when the daemon is draining and
+	// the last worker has exited (or by Shutdown itself if no workers
+	// were ever live) — it is what Shutdown waits on, with no extra
+	// goroutine.
+	drainDone chan struct{}
 
 	// snapMu guards the automatic-snapshot rate limiter and the
 	// overload-burst detector (flight.go).
@@ -126,9 +132,10 @@ type Daemon struct {
 func New(cfg Config) *Daemon {
 	cfg = cfg.withDefaults()
 	return &Daemon{
-		cfg:   cfg,
-		rec:   reqtrace.NewRecorder(cfg.FlightRecorder),
-		pipes: map[string]*pipeline{},
+		cfg:       cfg,
+		rec:       reqtrace.NewRecorder(cfg.FlightRecorder),
+		pipes:     map[string]*pipeline{},
+		drainDone: make(chan struct{}),
 	}
 }
 
@@ -171,7 +178,7 @@ func (d *Daemon) AddMatrix(name string, l *sparse.CSR[float64], opts block.Optio
 	}
 	d.pipes[name] = p
 	for i := 0; i < d.cfg.Workers; i++ {
-		d.wg.Add(1)
+		d.liveWorkers++
 		go d.worker(p)
 	}
 	return nil
@@ -280,6 +287,8 @@ func (d *Daemon) admit(ctx context.Context, matrix string, b []float64, sp *reqt
 // Shutdown refuses new work, lets the workers drain everything already
 // admitted, and returns when they have exited or ctx expires (the drain
 // keeps running in the background in that case). Shutdown is idempotent.
+// It waits on drainDone directly — the last exiting worker closes it —
+// so no helper goroutine is spawned per call.
 func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.mu.Lock()
 	if !d.closed {
@@ -287,22 +296,34 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 		for _, p := range d.pipes {
 			close(p.queue)
 		}
+		// Workers only exit after their queue is closed, which only
+		// happens here; liveWorkers == 0 now means none were ever
+		// started, so nobody else will close drainDone.
+		if d.liveWorkers == 0 {
+			close(d.drainDone)
+		}
 	}
 	d.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		d.wg.Wait()
-		close(done)
-	}()
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	select {
-	case <-done:
+	case <-d.drainDone:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// workerExit is every worker's deferred exit bookkeeping: the last
+// worker out during a drain completes Shutdown by closing drainDone.
+func (d *Daemon) workerExit() {
+	d.mu.Lock()
+	d.liveWorkers--
+	if d.closed && d.liveWorkers == 0 {
+		close(d.drainDone)
+	}
+	d.mu.Unlock()
 }
 
 // Draining reports whether Shutdown has begun.

@@ -74,7 +74,7 @@ func (p *pipeline) retryAfter() time.Duration {
 // range keeps delivering queued requests after close, so everything
 // admitted is still resolved before the worker exits.
 func (d *Daemon) worker(p *pipeline) {
-	defer d.wg.Done()
+	defer d.workerExit()
 	w := &workerState{p: p, ses: p.solver.NewSession()}
 	for first := range p.queue {
 		mQueueDepth.Add(-1)
@@ -259,20 +259,24 @@ func (w *workerState) solveOne(r *request) (err error) {
 	return w.ses.SolveContext(r.ctx, r.b, r.x)
 }
 
-// batchContext is the coalesced solve's context: the widest member
-// deadline, so the batch is aborted only once every member has expired.
-// Members with tighter deadlines are still answered on time — their own
-// context is what their submitter observes.
+// batchContext is the coalesced solve's context: derived from the batch
+// head's request context with per-member cancellation detached (one
+// member giving up must not abort its siblings' work) and re-armed with
+// the widest member deadline, so the batch is aborted only once every
+// member has expired. Members with tighter deadlines are still answered
+// on time — their own context is what their submitter observes — while
+// request-scoped values (trace metadata) keep travelling with the solve.
 func batchContext(live []*request) (context.Context, context.CancelFunc) {
+	base := context.WithoutCancel(live[0].ctx)
 	var widest time.Time
 	for _, r := range live {
 		d, ok := r.ctx.Deadline()
 		if !ok {
-			return context.WithCancel(context.Background())
+			return context.WithCancel(base)
 		}
 		if d.After(widest) {
 			widest = d
 		}
 	}
-	return context.WithDeadline(context.Background(), widest)
+	return context.WithDeadline(base, widest)
 }

@@ -136,10 +136,20 @@ func (g *Guard) Stall() (row int, indeg int32, ok bool) {
 // SpinUntilZeroGuarded busy-waits like SpinUntilZero but additionally
 // polls the guard, returning false the moment it trips. The extra guard
 // load per iteration is the entire per-iteration cost of the guarded
-// solve path's spin loops.
+// solve path's spin loops. Like SpinUntilZero, the already-resolved fast
+// path is one atomic load that inlines into the kernel; the wait loop is
+// outlined.
 //
 //sptrsv:hotpath
 func SpinUntilZeroGuarded(c *atomic.Int32, g *Guard) bool {
+	if c.Load() == 0 {
+		return true
+	}
+	return spinUntilZeroGuardedSlow(c, g)
+}
+
+//sptrsv:hotpath
+func spinUntilZeroGuardedSlow(c *atomic.Int32, g *Guard) bool {
 	for spins := 0; ; spins++ {
 		if c.Load() == 0 {
 			return true

@@ -161,7 +161,7 @@ func TriSyncFreeSolveBatch[T sparse.Float](p exec.Launcher, state *SyncFreeState
 //sptrsv:hotpath
 func TriCuSparseLikeSolveBatch[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T, k int) {
 	rowPtr, colIdx, vals := strictCSR.RowPtr, strictCSR.ColIdx, strictCSR.Val
-	//lint:ignore hotpathalloc one row closure per solve, shared by every chunk launch below
+	//lint:ignore hotpathalloc,escapecheck one row closure per solve, shared by every chunk launch below
 	row := func(i int, sum []T) {
 		copy(sum, w[i*k:][:k])
 		klo, khi := rowPtr[i], rowPtr[i+1]
@@ -182,7 +182,7 @@ func TriCuSparseLikeSolveBatch[T sparse.Float](p exec.Launcher, sched *MergedSch
 		items := sched.items[lo:hi]
 		if sched.serial[c] {
 			p.ParallelFor(1, 1, func(_, _ int) {
-				//lint:ignore hotpathalloc per-launch RHS accumulator scratch
+				//lint:ignore hotpathalloc,escapecheck per-launch RHS accumulator scratch
 				sum := make([]T, k)
 				for t := range items {
 					row(items[t], sum)
@@ -191,7 +191,7 @@ func TriCuSparseLikeSolveBatch[T sparse.Float](p exec.Launcher, sched *MergedSch
 			continue
 		}
 		p.ParallelFor(len(items), 0, func(a, b int) {
-			//lint:ignore hotpathalloc per-launch RHS accumulator scratch
+			//lint:ignore hotpathalloc,escapecheck per-launch RHS accumulator scratch
 			sum := make([]T, k)
 			its := items[a:b]
 			for t := range its {
@@ -243,7 +243,7 @@ func SpMVVectorCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.CSR[T], x,
 	rowPtr, colIdx, vals := a.RowPtr, a.ColIdx, a.Val
 	rows := a.Rows
 	p.ParallelFor(nnz, grain, func(lo, hi int) {
-		//lint:ignore hotpathalloc per-launch RHS accumulator scratch
+		//lint:ignore hotpathalloc,escapecheck per-launch RHS accumulator scratch
 		sum := make([]T, k)
 		i := sort.SearchInts(rowPtr, lo+1) - 1
 		for i < rows && rowPtr[i] < hi {
@@ -321,7 +321,7 @@ func SpMVVectorDCSRSubBatch[T sparse.Float](p exec.Launcher, a *sparse.DCSR[T], 
 	rowPtr, rowIdx, colIdx, vals := a.RowPtr, a.RowIdx, a.ColIdx, a.Val
 	stored := a.StoredRows()
 	p.ParallelFor(nnz, grain, func(lo, hi int) {
-		//lint:ignore hotpathalloc per-launch RHS accumulator scratch
+		//lint:ignore hotpathalloc,escapecheck per-launch RHS accumulator scratch
 		sum := make([]T, k)
 		s := sort.SearchInts(rowPtr, lo+1) - 1
 		for s < stored && rowPtr[s] < hi {

@@ -111,7 +111,7 @@ func TriSyncFreeSolveGuarded[T sparse.Float](p exec.Launcher, state *SyncFreeSta
 //sptrsv:hotpath
 func TriCuSparseLikeSolveGuarded[T sparse.Float](p exec.Launcher, sched *MergedSchedule, strictCSR *sparse.CSR[T], diag []T, w, x []T, g *exec.Guard) bool {
 	rowPtr, colIdx, vals := strictCSR.RowPtr, strictCSR.ColIdx, strictCSR.Val
-	//lint:ignore hotpathalloc one row closure per solve, shared by every chunk launch below
+	//lint:ignore hotpathalloc,escapecheck one row closure per solve, shared by every chunk launch below
 	row := func(i int) {
 		lo, hi := rowPtr[i], rowPtr[i+1]
 		sum := w[i]

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow protects the deadline-travels-with-request design (DESIGN.md
+// §6.10/§6.12): once a function has a request context in scope — a
+// context.Context parameter, or a parameter whose struct type carries a
+// context field (the daemon's *request, the admission queue's batches) —
+// it must thread that context instead of minting a fresh root or dropping
+// it on the floor. Three shapes are flagged:
+//
+//  1. calling context.Background()/context.TODO() while a context is in
+//     scope (detaching from the request deadline); the nil-default idiom
+//     `if ctx == nil { ctx = context.Background() }` stays legal,
+//  2. passing a nil literal to a context.Context parameter, and
+//  3. calling F when the same scope or method set offers a context-aware
+//     sibling (FContext or FWithContext) — e.g. http.NewRequest where
+//     http.NewRequestWithContext exists.
+//
+// Deliberate detachment (a background flush that must survive the
+// request) is documented with //lint:ignore ctxflow <reason>.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "require functions holding a context.Context to thread it to context-aware callees",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass.Info, fd)
+			if len(ctxParams) == 0 && !hasCtxBearingParam(pass.Info, fd) {
+				continue
+			}
+			defaulted := nilDefaultRanges(pass.Info, fd, ctxParams)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCtxCall(pass, call, defaulted)
+				return true
+			})
+		}
+	}
+}
+
+// checkCtxCall applies the three ctxflow rules to one call expression
+// inside a context-holding function.
+func checkCtxCall(pass *Pass, call *ast.CallExpr, defaulted []posRange) {
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	if isContextRoot(callee) {
+		if !inPosRanges(defaulted, call.Pos()) {
+			pass.Reportf(call.Pos(), "context.%s() discards the request context already in scope; derive from it (context.WithoutCancel if detaching cancellation is intended)", callee.Name())
+		}
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if !isContextType(sig.Params().At(i).Type()) {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && id.Name == "nil" && pass.Info.Uses[id] == types.Universe.Lookup("nil") {
+			pass.Reportf(arg.Pos(), "nil passed for the context.Context parameter of %s while a context is in scope; pass it through", callee.Name())
+		}
+	}
+	if sibling := ctxSibling(callee); sibling != nil {
+		pass.Reportf(call.Pos(), "%s drops the in-scope context; call %s instead", callee.Name(), sibling.Name())
+	}
+}
+
+// isContextRoot reports context.Background or context.TODO.
+func isContextRoot(f *types.Func) bool {
+	return f.Pkg() != nil && f.Pkg().Path() == "context" &&
+		(f.Name() == "Background" || f.Name() == "TODO")
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// contextParams returns the objects of fd's context.Context parameters.
+func contextParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var params []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				params = append(params, obj)
+			}
+		}
+	}
+	return params
+}
+
+// hasCtxBearingParam reports a parameter whose (pointer/slice-unwrapped)
+// named struct type carries a direct context.Context field — the daemon's
+// *request and []*request shapes, where r.ctx is the request context.
+func hasCtxBearingParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if structHasCtxField(unwrapPtrSlice(t)) {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrapPtrSlice(t types.Type) types.Type {
+	for {
+		switch u := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		default:
+			return t
+		}
+		// A slice of pointers unwraps twice; loop until a base type.
+	}
+}
+
+func structHasCtxField(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+type posRange struct {
+	start, end token.Pos
+}
+
+func inPosRanges(ranges []posRange, p token.Pos) bool {
+	for _, r := range ranges {
+		if p >= r.start && p < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// nilDefaultRanges collects the body extents of `if ctx == nil { ... }`
+// blocks guarding a context parameter — the sanctioned place to mint a
+// root context as a default for optional-context entry points.
+func nilDefaultRanges(info *types.Info, fd *ast.FuncDecl, ctxParams []types.Object) []posRange {
+	if len(ctxParams) == 0 {
+		return nil
+	}
+	var ranges []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		bin, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op.String() != "==" {
+			return true
+		}
+		if nilGuardsCtxParam(info, bin, ctxParams) {
+			ranges = append(ranges, posRange{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return ranges
+}
+
+func nilGuardsCtxParam(info *types.Info, bin *ast.BinaryExpr, ctxParams []types.Object) bool {
+	matches := func(x, y ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Uses[id]
+		found := false
+		for _, p := range ctxParams {
+			if obj == p {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+		nid, ok := ast.Unparen(y).(*ast.Ident)
+		return ok && nid.Name == "nil"
+	}
+	return matches(bin.X, bin.Y) || matches(bin.Y, bin.X)
+}
+
+// ctxSibling finds a context-accepting variant of f in the same scope or
+// method set: G where dropping "Context" or "WithContext" from G's name
+// yields f's name and G takes a context.Context. Context's own
+// constructors are exempt (WithCancel etc. are not siblings of anything).
+func ctxSibling(f *types.Func) *types.Func {
+	if f.Pkg() == nil || f.Pkg().Path() == "context" {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || signatureHasCtx(sig) {
+		return nil
+	}
+	if sig.Recv() != nil {
+		named, ok := types.Unalias(derefType(sig.Recv().Type())).(*types.Named)
+		if !ok {
+			return nil
+		}
+		named = named.Origin()
+		for i := 0; i < named.NumMethods(); i++ {
+			if g := named.Method(i); isCtxVariantOf(g, f) {
+				return g
+			}
+		}
+		return nil
+	}
+	scope := f.Pkg().Scope()
+	for _, name := range scope.Names() {
+		if g, ok := scope.Lookup(name).(*types.Func); ok && isCtxVariantOf(g, f) {
+			return g
+		}
+	}
+	return nil
+}
+
+func isCtxVariantOf(g, f *types.Func) bool {
+	if g == f || g.Name() == f.Name() {
+		return false
+	}
+	base := g.Name()
+	if strings.Contains(base, "WithContext") {
+		base = strings.Replace(base, "WithContext", "", 1)
+	} else {
+		base = strings.Replace(base, "Context", "", 1)
+	}
+	if base != f.Name() {
+		return false
+	}
+	gsig, ok := g.Type().(*types.Signature)
+	return ok && signatureHasCtx(gsig)
+}
+
+func signatureHasCtx(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -57,7 +57,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer the suite ships, in stable order.
-var All = []*Analyzer{HotPathAlloc, AtomicMix, SpinGuard, NoWallClock, ErrDrop}
+var All = []*Analyzer{HotPathAlloc, AtomicMix, SpinGuard, NoWallClock, ErrDrop, GoLifecycle, CtxFlow}
 
 // ByName resolves an analyzer by its name, or nil.
 func ByName(name string) *Analyzer {

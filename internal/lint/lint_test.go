@@ -1,6 +1,10 @@
 package lint
 
-import "testing"
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
 
 // Each golden test runs one analyzer over its testdata package and
 // additionally asserts the suppression path fired: every package carries
@@ -33,6 +37,59 @@ func TestNoWallClockGolden(t *testing.T) {
 
 func TestErrDropGolden(t *testing.T) {
 	if got := RunGolden(t, ErrDrop, "errdrop"); got < 1 {
+		t.Errorf("suppressed = %d, want >= 1 (testdata carries an ignored false positive)", got)
+	}
+}
+
+func TestGoLifecycleGolden(t *testing.T) {
+	got := RunGoldenAs(t, GoLifecycle, "golifecycle", "example.com/golifecycle/internal/daemon")
+	if got < 1 {
+		t.Errorf("suppressed = %d, want >= 1 (testdata carries an ignored false positive)", got)
+	}
+}
+
+// TestGoLifecycleOutOfScope pins the package scoping: the same goroutine
+// shapes produce nothing outside daemon/exec/plancache import paths.
+func TestGoLifecycleOutOfScope(t *testing.T) {
+	pkgDir := filepath.Join("testdata", "golifecycle")
+	names, err := goFileNames(pkgDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", pkgDir, err)
+	}
+	imports, err := importsOf(pkgDir, names)
+	if err != nil {
+		t.Fatalf("scanning imports: %v", err)
+	}
+	exports, std, _, err := goListExport(pkgDir, imports)
+	if err != nil {
+		t.Fatalf("loading export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := checkPackage(fset, exportImporter(fset, exports), "example.com/golifecycle", pkgDir, names)
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	facts := CollectFacts([]*Package{pkg}, std)
+	diags, _ := RunAnalyzers(fset, []*Package{pkg}, []*Analyzer{GoLifecycle}, facts)
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package produced %d findings, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestGenericInstantiationGolden pins hotpathalloc's type-parameter
+// carve-out on a generic kernel instantiated at float32 and float64:
+// conversions to and from T are concrete at every instantiation and must
+// not be reported as boxing, while a real interface conversion in the
+// same generic body still is. No suppression needed — the carve-out is
+// in the analyzer, not an ignore comment.
+func TestGenericInstantiationGolden(t *testing.T) {
+	if got := RunGolden(t, HotPathAlloc, "generics"); got != 0 {
+		t.Errorf("suppressed = %d, want 0 (T conversions must pass without ignores)", got)
+	}
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	if got := RunGolden(t, CtxFlow, "ctxflow"); got < 1 {
 		t.Errorf("suppressed = %d, want >= 1 (testdata carries an ignored false positive)", got)
 	}
 }

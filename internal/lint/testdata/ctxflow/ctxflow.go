@@ -1,0 +1,84 @@
+// Package ctxflow is golden-test input: functions holding a request
+// context that mint fresh roots, pass nil contexts, or call the
+// context-less variant of a context-aware API.
+package ctxflow
+
+import "context"
+
+func helper(ctx context.Context) { _ = ctx }
+
+func fetch(url string) string { return url }
+
+func fetchContext(ctx context.Context, url string) string {
+	_ = ctx
+	return url
+}
+
+type client struct{}
+
+func (c *client) solve(n int) int { return n }
+
+func (c *client) solveContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// req mimics the daemon's request shape: the context rides in a field.
+type req struct {
+	ctx context.Context
+	n   int
+}
+
+func mintsRoot(ctx context.Context) {
+	helper(context.Background()) // want `context.Background\(\) discards the request context already in scope`
+}
+
+func passesNil(ctx context.Context) {
+	_ = fetchContext(nil, "x") // want `nil passed for the context.Context parameter of fetchContext`
+}
+
+func dropsViaSibling(ctx context.Context) {
+	_ = fetch("x") // want `fetch drops the in-scope context; call fetchContext instead`
+}
+
+func dropsViaMethodSibling(ctx context.Context, c *client) {
+	_ = c.solve(1) // want `solve drops the in-scope context; call solveContext instead`
+}
+
+// batch holds the context in its elements, like the admission queue's
+// []*request batches; minting a root here detaches from every deadline.
+func batch(rs []*req) {
+	helper(context.TODO()) // want `context.TODO\(\) discards the request context already in scope`
+	for _, r := range rs {
+		_ = r
+	}
+}
+
+// detachedFlush must outlive the request on purpose; the ignore records
+// that decision.
+func detachedFlush(ctx context.Context) {
+	//lint:ignore ctxflow audit flush must survive request cancellation
+	helper(context.Background())
+}
+
+// --- clean shapes: no findings below this line ---
+
+// withDefault is the sanctioned nil-default idiom for optional-context
+// entry points.
+func withDefault(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	helper(ctx)
+}
+
+func threadsProperly(ctx context.Context, c *client) {
+	_ = fetchContext(ctx, "x")
+	_ = c.solveContext(ctx, 2)
+}
+
+// noCtxInScope may mint roots freely; it is the edge of the request path.
+func noCtxInScope() {
+	helper(context.Background())
+	_ = fetch("x")
+}

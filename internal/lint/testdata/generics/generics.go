@@ -1,0 +1,50 @@
+// Package generics is golden-test input pinning hotpathalloc's behaviour
+// on generic hot-path kernels: conversions to a type parameter T
+// instantiate to a concrete type at every call site — no interface value
+// exists at runtime — so they must NOT be flagged as boxing, while a
+// genuine interface conversion inside the same generic body still is.
+package generics
+
+type float interface {
+	~float32 | ~float64
+}
+
+var sink any
+
+// axpyKernel is the shape of the project's generic solve kernels: the
+// accumulator and the scale conversions go through the type parameter.
+//
+//sptrsv:hotpath
+func axpyKernel[T float](x []T, alpha float64) T {
+	acc := T(0)
+	for i := range x {
+		// Conversion to T: concrete at instantiation, not boxing.
+		x[i] *= T(alpha)
+		acc += x[i]
+		// Conversion from T to a concrete basic type: also not boxing.
+		_ = float64(x[i])
+	}
+	return T(float64(acc) * alpha)
+}
+
+// boxesInGeneric shows the analyzer still fires inside a generic body
+// when a concrete value really is boxed into an interface.
+//
+//sptrsv:hotpath
+func boxesInGeneric[T float](x []T) {
+	n := len(x)
+	sink = n // want `hot path allocates: int boxed into interface`
+}
+
+// instantiate pins both concrete instantiations the kernels ship at, so
+// the type checker materialises T=float32 and T=float64 for the bodies
+// above.
+func instantiate() (float32, float64) {
+	a := axpyKernel[float32]([]float32{1, 2}, 0.5)
+	b := axpyKernel[float64]([]float64{1, 2}, 0.5)
+	boxesInGeneric([]float32{1})
+	boxesInGeneric([]float64{1})
+	return a, b
+}
+
+var _ = instantiate

@@ -1,0 +1,78 @@
+// Package golifecycle is golden-test input: goroutine launches with and
+// without a tracked lifecycle. The harness loads it under an
+// example.com/golifecycle/internal/daemon import path so the analyzer's
+// package scoping applies.
+package golifecycle
+
+import "sync"
+
+func compute() {}
+
+// leak spins forever with no shutdown tie; launching it is the classic
+// fire-and-forget leak.
+func leak() {
+	for {
+		compute()
+	}
+}
+
+func launchNamedLeak() {
+	go leak() // want `goroutine has no tracked lifecycle`
+}
+
+func launchLitLeak() {
+	go func() { // want `goroutine has no tracked lifecycle`
+		compute()
+	}()
+}
+
+// addAfterLaunch registers with the WaitGroup only after the goroutine is
+// already running: Wait can return before the goroutine is counted.
+func addAfterLaunch(wg *sync.WaitGroup) {
+	go func() { // want `goroutine has no tracked lifecycle`
+		compute()
+	}()
+	wg.Add(1)
+}
+
+// launchParkedWorker documents an out-of-band termination protocol, the
+// shape the spin pool uses: the worker parks on an epoch broadcast and
+// Close wakes every parked worker after flipping the closed flag.
+func launchParkedWorker() {
+	//lint:ignore golifecycle worker parks on an epoch broadcast; Close flips the closed flag and wakes all parked workers
+	go leak()
+}
+
+// --- tracked launches: no findings below this line ---
+
+func launchCounted(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+}
+
+func launchSelfCounted(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+}
+
+// drain is a bounded worker: it exits when the channel is closed.
+func drain(jobs chan int) {
+	for range jobs {
+		compute()
+	}
+}
+
+func launchDrainer(jobs chan int) {
+	go drain(jobs)
+}
+
+func launchWaiter(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
